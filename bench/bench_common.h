@@ -1,0 +1,95 @@
+/// \file bench_common.h
+/// \brief Shared plumbing for the figure/table reproduction benchmarks.
+///
+/// Every bench binary prints the same rows/series the paper's plot shows,
+/// at laptop scale. `HOLIX_SCALE` multiplies column sizes, `HOLIX_QUERIES`
+/// overrides query counts, `HOLIX_CORES` overrides the modelled number of
+/// hardware contexts.
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "util/env.h"
+#include "workload/workload.h"
+
+namespace holix::bench {
+
+/// Environment-derived experiment scale.
+struct BenchEnv {
+  size_t rows;     ///< Rows per attribute column.
+  size_t queries;  ///< Queries in the workload.
+  size_t cores;    ///< Modelled hardware contexts.
+  int64_t domain = int64_t{1} << 30;
+  uint64_t seed = 1907;
+};
+
+inline BenchEnv ReadEnv(size_t default_rows, size_t default_queries) {
+  BenchEnv env;
+  env.rows = ScaledSize(default_rows);
+  env.queries = QueryCount(default_queries);
+  const int64_t forced_cores = EnvInt("HOLIX_CORES", 0);
+  env.cores = forced_cores > 0
+                  ? static_cast<size_t>(forced_cores)
+                  : std::max<size_t>(2, std::thread::hardware_concurrency());
+  return env;
+}
+
+/// Options for a plain (non-holistic) mode with \p user_threads contexts.
+inline DatabaseOptions PlainOptions(ExecMode mode, size_t user_threads) {
+  DatabaseOptions opts;
+  opts.mode = mode;
+  opts.user_threads = user_threads;
+  return opts;
+}
+
+/// Options for holistic mode: the paper's "u{U}w{W}x{Z}" thread split plus
+/// x refinements per worker.
+inline DatabaseOptions HolisticOptions(size_t user_threads, size_t workers,
+                                       size_t threads_per_worker,
+                                       size_t total_cores,
+                                       size_t refinements_per_worker = 16,
+                                       Strategy strategy = Strategy::kW4) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = user_threads;
+  opts.total_cores = total_cores;
+  opts.holistic.max_workers = workers;
+  opts.holistic.threads_per_worker = threads_per_worker;
+  opts.holistic.refinements_per_worker = refinements_per_worker;
+  opts.holistic.strategy = strategy;
+  opts.holistic.monitor_interval_seconds = 0.001;
+  return opts;
+}
+
+/// "uXwYxZ" label as used on the paper's bar charts.
+inline std::string SplitLabel(size_t u, size_t w, size_t z) {
+  std::string label = "u" + std::to_string(u);
+  if (w > 0) label += "w" + std::to_string(w) + "x" + std::to_string(z);
+  return label;
+}
+
+/// Runs one mode over a freshly loaded copy of the standard uniform table.
+/// Returns the per-query latency series.
+inline RunResult RunMode(const DatabaseOptions& opts, const BenchEnv& env,
+                         size_t num_attrs,
+                         const std::vector<RangeQuery>& queries) {
+  Database db(opts);
+  LoadUniformTable(db, "r", num_attrs, env.rows, env.domain, env.seed);
+  const auto names = MakeAttributeNames(num_attrs);
+  return RunWorkload(db, "r", names, queries);
+}
+
+inline void PrintScaleNote(const BenchEnv& env, size_t num_attrs) {
+  std::printf("# rows/attribute=%zu attrs=%zu queries=%zu cores=%zu "
+              "(paper: 2^30 rows, 32 contexts; set HOLIX_SCALE to grow)\n",
+              env.rows, num_attrs, env.queries, env.cores);
+}
+
+}  // namespace holix::bench

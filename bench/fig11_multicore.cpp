@@ -1,0 +1,58 @@
+/// \file fig11_multicore.cpp
+/// \brief Reproduces Figure 11 (§5.2): holistic indexing vs. multi-core
+/// adaptive indexing baselines (mP-CCGI, PVDC, PVSDC) while varying the
+/// number of available cores. Holistic gives half the cores to user
+/// queries and the rest to workers (the paper's best configuration).
+
+#include "bench_common.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1000);
+  const size_t attrs = 10;
+  PrintScaleNote(env, attrs);
+
+  WorkloadSpec spec;
+  spec.num_queries = env.queries;
+  spec.num_attributes = attrs;
+  spec.domain = env.domain;
+  spec.pattern = QueryPattern::kRandom;
+  spec.seed = env.seed;
+  const auto queries = GenerateWorkload(spec);
+
+  std::vector<size_t> core_counts;
+  for (size_t c = 2; c < env.cores; c *= 2) core_counts.push_back(c);
+  core_counts.push_back(env.cores);
+
+  ReportTable t("Fig 11: total processing cost (s) vs cores");
+  t.SetHeader({"cores", "mP-CCGI", "PVDC", "PVSDC", "HI", "HI split"});
+  for (size_t c : core_counts) {
+    std::vector<std::string> row = {std::to_string(c)};
+    {
+      DatabaseOptions o = PlainOptions(ExecMode::kCCGI, c);
+      o.ccgi_chunks = c;
+      row.push_back(FormatSeconds(RunMode(o, env, attrs, queries).series.Total()));
+    }
+    row.push_back(FormatSeconds(
+        RunMode(PlainOptions(ExecMode::kAdaptive, c), env, attrs, queries)
+            .series.Total()));
+    row.push_back(FormatSeconds(
+        RunMode(PlainOptions(ExecMode::kStochastic, c), env, attrs, queries)
+            .series.Total()));
+    // Half the cores to user queries, half to workers (z=2 when possible).
+    const size_t u = std::max<size_t>(1, c / 2);
+    const size_t z = c >= 8 ? 2 : 1;
+    const size_t w = std::max<size_t>(1, (c - u) / z);
+    row.push_back(FormatSeconds(
+        RunMode(HolisticOptions(u, w, z, c), env, attrs, queries)
+            .series.Total()));
+    row.push_back(SplitLabel(u, w, z));
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\n# paper: all methods improve with cores; HI wins at every "
+              "core count because it is active all the time\n");
+  return 0;
+}

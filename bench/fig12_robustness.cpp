@@ -1,0 +1,52 @@
+/// \file fig12_robustness.cpp
+/// \brief Reproduces Figure 12 (§5.3): robustness of holistic indexing vs.
+/// PVDC and PVSDC across the five workload patterns (Random, Skewed,
+/// Periodic, Sequential, SkyServer-like).
+
+#include "bench_common.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1000);
+  const size_t attrs = 10;
+  PrintScaleNote(env, attrs);
+
+  const QueryPattern patterns[] = {
+      QueryPattern::kRandom, QueryPattern::kSkewed, QueryPattern::kPeriodic,
+      QueryPattern::kSequential, QueryPattern::kSkyServer};
+
+  ReportTable t("Fig 12: total processing cost (s) per workload");
+  t.SetHeader({"workload", "PVDC", "PVSDC", "HI"});
+  for (QueryPattern p : patterns) {
+    WorkloadSpec spec;
+    spec.num_queries =
+        p == QueryPattern::kSkyServer ? env.queries * 2 : env.queries;
+    spec.num_attributes = attrs;
+    spec.domain = env.domain;
+    spec.pattern = p;
+    spec.selectivity = 0.001;  // narrow ranges make the pattern matter
+    spec.seed = env.seed;
+    const auto queries = GenerateWorkload(spec);
+
+    const double pvdc =
+        RunMode(PlainOptions(ExecMode::kAdaptive, env.cores), env, attrs,
+                queries)
+            .series.Total();
+    const double pvsdc =
+        RunMode(PlainOptions(ExecMode::kStochastic, env.cores), env, attrs,
+                queries)
+            .series.Total();
+    const double hi =
+        RunMode(HolisticOptions(env.cores / 2, env.cores / 4, 2, env.cores),
+                env, attrs, queries)
+            .series.Total();
+    t.AddRow({QueryPatternName(p), FormatSeconds(pvdc), FormatSeconds(pvsdc),
+              FormatSeconds(hi)});
+  }
+  t.Print();
+  std::printf("\n# paper: HI outperforms PVDC by 2-10x depending on "
+              "pattern, and never loses to PVSDC\n");
+  return 0;
+}

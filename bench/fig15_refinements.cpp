@@ -1,0 +1,56 @@
+/// \file fig15_refinements.cpp
+/// \brief Reproduces Figure 15 (§5.5): sensitivity to x, the number of
+/// index refinements each holistic worker performs per activation, across
+/// the five workloads, with PVDC/PVSDC reference bars.
+
+#include "bench_common.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1000);
+  const size_t attrs = 10;
+  PrintScaleNote(env, attrs);
+
+  const QueryPattern patterns[] = {
+      QueryPattern::kRandom, QueryPattern::kSkewed, QueryPattern::kPeriodic,
+      QueryPattern::kSequential, QueryPattern::kSkyServer};
+  const size_t xs[] = {1, 2, 4, 8, 16, 32};
+
+  ReportTable t("Fig 15: total cost (s) vs refinements per worker (x)");
+  t.SetHeader({"workload", "PVDC", "PVSDC", "x=1", "x=2", "x=4", "x=8",
+               "x=16", "x=32"});
+  for (QueryPattern p : patterns) {
+    WorkloadSpec spec;
+    spec.num_queries = env.queries;
+    spec.num_attributes = attrs;
+    spec.domain = env.domain;
+    spec.pattern = p;
+    spec.selectivity = 0.001;
+    spec.seed = env.seed;
+    const auto queries = GenerateWorkload(spec);
+
+    std::vector<std::string> row = {QueryPatternName(p)};
+    row.push_back(FormatSeconds(
+        RunMode(PlainOptions(ExecMode::kAdaptive, env.cores), env, attrs,
+                queries)
+            .series.Total()));
+    row.push_back(FormatSeconds(
+        RunMode(PlainOptions(ExecMode::kStochastic, env.cores), env, attrs,
+                queries)
+            .series.Total()));
+    for (size_t x : xs) {
+      row.push_back(FormatSeconds(
+          RunMode(HolisticOptions(env.cores / 2, env.cores / 4, 2, env.cores,
+                                  x),
+                  env, attrs, queries)
+              .series.Total()));
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\n# paper: cost falls as x grows, with diminishing returns "
+              "from 16 to 32 -> x=16 is the default\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+/// \file fig6_state_of_the_art.cpp
+/// \brief Reproduces Figure 6 (§5.1): holistic indexing vs. no indexing,
+/// offline, online and adaptive indexing on the 1000-query / 10-attribute
+/// microbenchmark with random ranges.
+///
+/// Prints:
+///  (a) the cumulative response-time curve per method (log-spaced points),
+///  (b) the 1 / 9 / 90 / 900 breakdown for adaptive vs holistic,
+///  (c) cumulative index partitions for adaptive vs holistic,
+///  (d) holistic worker activations (time and worker count per cycle).
+
+#include "bench_common.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1000);
+  const size_t attrs = 10;
+  PrintScaleNote(env, attrs);
+
+  WorkloadSpec spec;
+  spec.num_queries = env.queries;
+  spec.num_attributes = attrs;
+  spec.domain = env.domain;
+  spec.pattern = QueryPattern::kRandom;
+  spec.selectivity = 0;  // random ranges, as in the paper
+  spec.seed = env.seed;
+  const auto queries = GenerateWorkload(spec);
+
+  const size_t u = env.cores / 2;          // user-query contexts
+  const size_t w = env.cores / 4;          // holistic workers (x2 threads)
+  struct ModeRun {
+    const char* label;
+    DatabaseOptions opts;
+  };
+  std::vector<ModeRun> modes = {
+      {"no indexing", PlainOptions(ExecMode::kScan, env.cores)},
+      {"offline indexing", PlainOptions(ExecMode::kOffline, env.cores)},
+      {"online indexing", PlainOptions(ExecMode::kOnline, env.cores)},
+      {"adaptive indexing", PlainOptions(ExecMode::kAdaptive, env.cores)},
+      {"holistic indexing", HolisticOptions(u, w, 2, env.cores)},
+  };
+
+  std::vector<ResponseSeries> series(modes.size());
+  std::vector<size_t> final_pieces(modes.size(), 0);
+  std::vector<ActivationRecord> activations;
+
+  for (size_t m = 0; m < modes.size(); ++m) {
+    Database db(modes[m].opts);
+    LoadUniformTable(db, "r", attrs, env.rows, env.domain, env.seed);
+    const auto names = MakeAttributeNames(attrs);
+    RunResult r = RunWorkload(db, "r", names, queries);
+    series[m] = std::move(r.series);
+    final_pieces[m] = db.TotalIndexPieces();
+    if (db.holistic() != nullptr) activations = db.holistic()->Activations();
+    std::printf("# %-18s total=%8.3fs checksum=%llu\n", modes[m].label,
+                series[m].Total(),
+                static_cast<unsigned long long>(r.result_checksum));
+  }
+
+  {
+    ReportTable t("Fig 6(a): cumulative response time (seconds)");
+    std::vector<std::string> header = {"queries"};
+    for (const auto& m : modes) header.push_back(m.label);
+    t.SetHeader(header);
+    const auto marks = series[0].LogSpacedCurve();
+    for (const auto& [k, _] : marks) {
+      std::vector<std::string> row = {std::to_string(k)};
+      for (auto& s : series) row.push_back(FormatSeconds(s.CumulativeAt(k)));
+      t.AddRow(row);
+    }
+    t.Print();
+  }
+
+  {
+    ReportTable t("Fig 6(b): breakdown of total response time (seconds)");
+    t.SetHeader({"queries", "adaptive", "holistic"});
+    const auto a = series[3].DecadeBreakdown();
+    const auto h = series[4].DecadeBreakdown();
+    const char* buckets[] = {"1", "9", "90", "900"};
+    for (size_t i = 0; i < a.size() && i < 4; ++i) {
+      t.AddRow({buckets[i], FormatSeconds(a[i]),
+                i < h.size() ? FormatSeconds(h[i]) : "-"});
+    }
+    t.Print();
+  }
+
+  {
+    ReportTable t("Fig 6(c): index partitions after the workload");
+    t.SetHeader({"method", "total pieces across 10 indices"});
+    t.AddRow({"adaptive indexing", std::to_string(final_pieces[3])});
+    t.AddRow({"holistic indexing", std::to_string(final_pieces[4])});
+    t.Print();
+  }
+
+  {
+    ReportTable t("Fig 6(d): holistic worker activations");
+    t.SetHeader({"activation", "t(s)", "#workers", "cycle time(s)"});
+    const size_t n = activations.size();
+    const size_t step = n > 40 ? n / 40 : 1;
+    for (size_t i = 0; i < n; i += step) {
+      t.AddRow({std::to_string(i + 1), FormatSeconds(activations[i].at_seconds),
+                std::to_string(activations[i].workers),
+                FormatSeconds(activations[i].cycle_seconds)});
+    }
+    t.Print();
+    std::printf("# %zu activations total\n", n);
+  }
+
+  const double speedup = series[3].Total() / series[4].Total();
+  std::printf("\n# holistic vs adaptive speedup: %.2fx (paper: ~2x)\n",
+              speedup);
+  return 0;
+}

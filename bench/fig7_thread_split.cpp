@@ -1,0 +1,63 @@
+/// \file fig7_thread_split.cpp
+/// \brief Reproduces Figure 7 (§5.1): how distributing hardware contexts
+/// between user queries (uX) and holistic workers (wYxZ) affects the total
+/// processing cost. The paper's headline: an even split beats giving all
+/// contexts to user-query cracking.
+
+#include "bench_common.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1000);
+  const size_t attrs = 10;
+  PrintScaleNote(env, attrs);
+
+  WorkloadSpec spec;
+  spec.num_queries = env.queries;
+  spec.num_attributes = attrs;
+  spec.domain = env.domain;
+  spec.pattern = QueryPattern::kRandom;
+  spec.seed = env.seed;
+  const auto queries = GenerateWorkload(spec);
+
+  const size_t c = env.cores;  // paper: 32
+  struct Split {
+    size_t u, w, z;
+  };
+  // Mirrors the paper's list (u32, u30w2x1, ..., u2w5x6) scaled to c cores.
+  std::vector<Split> splits = {
+      {c, 0, 0},           {c - 2, 2, 1},       {c - 2, 1, 2},
+      {c / 2, c / 2, 1},   {c / 2, 1, c / 2},   {c / 2, c / 8, 4},
+      {c / 2, 2, c / 4},   {c / 2, c / 4, 2},   {2, c - 2, 1},
+      {2, 1, c - 2},       {2, (c - 2) / 5, 5},
+  };
+
+  ReportTable t("Fig 7: thread distribution users vs holistic workers");
+  t.SetHeader({"split", "total cost (s)"});
+  double all_user_cost = 0;
+  double best_cost = 1e30;
+  std::string best_label;
+  for (const auto& s : splits) {
+    if (s.u == 0 || (s.w > 0 && s.z == 0)) continue;
+    DatabaseOptions opts =
+        s.w == 0 ? PlainOptions(ExecMode::kAdaptive, s.u)
+                 : HolisticOptions(s.u, s.w, s.z, c);
+    RunResult r = RunMode(opts, env, attrs, queries);
+    const double cost = r.series.Total();
+    const std::string label = SplitLabel(s.u, s.w, s.z);
+    t.AddRow({label, FormatSeconds(cost)});
+    if (s.w == 0) all_user_cost = cost;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_label = label;
+    }
+  }
+  t.Print();
+  std::printf(
+      "\n# best split %s: %.2fx faster than all-user u%zu "
+      "(paper: even split wins by ~2x)\n",
+      best_label.c_str(), all_user_cost / best_cost, c);
+  return 0;
+}

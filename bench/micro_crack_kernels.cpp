@@ -1,0 +1,114 @@
+/// \file micro_crack_kernels.cpp
+/// \brief google-benchmark microbenchmarks of the cracking kernels and the
+/// cracker index: the CPU-efficiency story behind §4.2 / [44].
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cracking/crack_kernels.h"
+#include "cracking/cracker_column.h"
+#include "cracking/cracker_index.h"
+#include "cracking/parallel_crack.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace holix;
+
+std::vector<int64_t> MakeData(size_t n) {
+  Rng rng(7);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = static_cast<int64_t>(rng.Below(1u << 30));
+  return v;
+}
+
+void BM_CrackInTwoScalar(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const auto base = MakeData(n);
+  std::vector<RowId> ids(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    for (size_t i = 0; i < n; ++i) ids[i] = i;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwoScalar(
+        v.data(), 0, n, int64_t{1} << 29, [&](size_t i, size_t j) {
+          std::swap(v[i], v[j]);
+          std::swap(ids[i], ids[j]);
+        }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CrackInTwoScalar)->Range(1 << 14, 1 << 22);
+
+void BM_CrackInTwoOutOfPlace(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const auto base = MakeData(n);
+  std::vector<RowId> ids(n);
+  CrackScratch<int64_t> scratch;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    for (size_t i = 0; i < n; ++i) ids[i] = i;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(CrackInTwoOutOfPlace(
+        v.data(), ids.data(), 0, n, int64_t{1} << 29, scratch));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CrackInTwoOutOfPlace)->Range(1 << 14, 1 << 22);
+
+void BM_ParallelCrackInTwo(benchmark::State& state) {
+  const size_t n = 1 << 22;
+  const size_t threads = state.range(0);
+  const auto base = MakeData(n);
+  std::vector<RowId> ids(n);
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto v = base;
+    for (size_t i = 0; i < n; ++i) ids[i] = i;
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ParallelCrackInTwo(v.data(), ids.data(), 0, n,
+                                                int64_t{1} << 29, pool,
+                                                threads));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ParallelCrackInTwo)->RangeMultiplier(2)->Range(1, 16);
+
+void BM_CrackerIndexLookup(benchmark::State& state) {
+  const size_t boundaries = state.range(0);
+  CrackerIndex<int64_t> index;
+  Rng rng(3);
+  for (size_t i = 0; i < boundaries; ++i) {
+    index.Insert(static_cast<int64_t>(rng.Below(1u << 30)), i);
+  }
+  int64_t probe = 0;
+  for (auto _ : state) {
+    probe = (probe + 0x9E3779B9) & ((1u << 30) - 1);
+    benchmark::DoNotOptimize(index.FindPiece(probe, boundaries + 1));
+  }
+}
+BENCHMARK(BM_CrackerIndexLookup)->Range(16, 1 << 16);
+
+void BM_SelectRangeConverged(benchmark::State& state) {
+  // Query latency once an index is fully refined: the holistic end state.
+  const size_t n = 1 << 22;
+  CrackerColumn<int64_t> col("bench", MakeData(n));
+  Rng rng(11);
+  for (int i = 0; i < 4096; ++i) {
+    col.TryRefineAt(static_cast<int64_t>(rng.Below(1u << 30)));
+  }
+  for (auto _ : state) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(1u << 30));
+    benchmark::DoNotOptimize(col.SelectRange(lo, lo + (1 << 20)));
+  }
+}
+BENCHMARK(BM_SelectRangeConverged);
+
+}  // namespace
+
+BENCHMARK_MAIN();

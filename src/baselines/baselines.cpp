@@ -1,0 +1,8 @@
+// Anchor translation unit for the baselines library.
+#include "baselines/full_scan.h"
+#include "baselines/sorted_index.h"
+
+namespace holix {
+template class SortedIndex<int32_t>;
+template class SortedIndex<int64_t>;
+}  // namespace holix

@@ -1,0 +1,48 @@
+/// \file crack_config.h
+/// \brief Per-call configuration of cracking behaviour.
+
+#pragma once
+
+#include <cstddef>
+
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace holix {
+
+/// Which physical reorganization kernel a crack should use.
+enum class CrackAlgo {
+  kScalar,      ///< Branchy in-place Hoare partition [27].
+  kOutOfPlace,  ///< Predicated out-of-place kernel (vectorized cracking [44]).
+  kParallel,    ///< Refined partition & merge across threads [44].
+};
+
+/// Options carried by select operators and holistic workers into the
+/// cracker column. Plain value type: cheap to copy per call.
+struct CrackConfig {
+  /// Kernel choice; kParallel requires `pool`.
+  CrackAlgo algo = CrackAlgo::kOutOfPlace;
+
+  /// Pool used by kParallel cracks (not owned). May be shared.
+  ThreadPool* pool = nullptr;
+
+  /// Threads per parallel crack (the "slice" count of Figure 4).
+  size_t parallel_threads = 1;
+
+  /// Pieces smaller than this fall back to the out-of-place kernel even
+  /// when kParallel is requested.
+  size_t min_parallel_piece = 1u << 16;
+
+  /// Stochastic cracking (PVSDC [21,44]): before cracking the target piece
+  /// at the query bound, repeatedly crack it at data-driven random pivots
+  /// while it is larger than `stochastic_min_piece`.
+  bool stochastic = false;
+
+  /// RNG for stochastic pivots (not owned; required when stochastic).
+  Rng* rng = nullptr;
+
+  /// Stop stochastic pre-cracking below this piece size.
+  size_t stochastic_min_piece = 1u << 14;
+};
+
+}  // namespace holix

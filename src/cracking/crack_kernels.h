@@ -1,0 +1,127 @@
+/// \file crack_kernels.h
+/// \brief Physical reorganization kernels for database cracking (§3.2).
+///
+/// Three kernels are provided:
+///  * CrackInTwoScalar     — branchy in-place Hoare partition (the classic
+///                           cracking kernel of [27]),
+///  * CrackInThreeScalar   — single-pass three-way partition, used when both
+///                           query bounds fall into the same piece,
+///  * CrackInTwoOutOfPlace — the predicated out-of-place kernel in the
+///                           spirit of the vectorized cracking of Pirk et
+///                           al. [44]: one sequential read stream, two
+///                           sequential write streams, no data-dependent
+///                           branches in the hot loop.
+///
+/// All kernels partition values and co-move an attached rowid array (and,
+/// for the scalar kernels, arbitrary extra payload arrays via the swap
+/// functor), because cracker columns are (value, rowid) pairs.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace holix {
+
+/// In-place two-way partition of [lo, hi): values < pivot first.
+/// \param swap  callable swap(i, j) exchanging full rows i and j.
+/// \return the cut: first position whose value is >= pivot.
+template <typename T, typename SwapFn>
+size_t CrackInTwoScalar(T* v, size_t lo, size_t hi, T pivot, SwapFn&& swap) {
+  size_t i = lo;
+  size_t j = hi;
+  while (i < j) {
+    while (i < j && v[i] < pivot) ++i;
+    while (i < j && v[j - 1] >= pivot) --j;
+    if (i < j) {
+      swap(i, j - 1);
+      ++i;
+      --j;
+    }
+  }
+  return i;
+}
+
+/// In-place three-way partition of [lo_idx, hi_idx):
+/// `< low` first, then `[low, high)`, then `>= high`. Requires low < high.
+/// \return pair (a, b): [lo_idx,a) < low; [a,b) in range; [b,hi_idx) >= high.
+template <typename T, typename SwapFn>
+std::pair<size_t, size_t> CrackInThreeScalar(T* v, size_t lo_idx,
+                                             size_t hi_idx, T low, T high,
+                                             SwapFn&& swap) {
+  size_t i = lo_idx;  // next slot for "< low"
+  size_t k = lo_idx;  // scan cursor
+  size_t j = hi_idx;  // first slot of ">= high"
+  while (k < j) {
+    if (v[k] < low) {
+      if (i != k) swap(i, k);
+      ++i;
+      ++k;
+    } else if (v[k] >= high) {
+      --j;
+      swap(k, j);
+    } else {
+      ++k;
+    }
+  }
+  return {i, k};
+}
+
+/// Scratch buffers reused across out-of-place cracks by one thread.
+template <typename T>
+struct CrackScratch {
+  std::vector<T> values;
+  std::vector<RowId> rowids;
+};
+
+/// Thread-local scratch for out-of-place cracking.
+template <typename T>
+CrackScratch<T>& ThreadLocalCrackScratch() {
+  thread_local CrackScratch<T> scratch;
+  return scratch;
+}
+
+/// Out-of-place two-way partition of values+rowids in [lo, hi).
+///
+/// Reads the piece once sequentially, writes lows forward / highs backward
+/// into scratch with predicated cursor updates (no mispredicted branches),
+/// then copies back. This keeps the memory-access character of vectorized
+/// cracking [44] — sequential streams instead of the random-ish swap
+/// pattern of the Hoare kernel — at the cost of piece-sized scratch, which
+/// shrinks as cracking progresses.
+/// \return the cut: first position whose value is >= pivot.
+template <typename T>
+size_t CrackInTwoOutOfPlace(T* v, RowId* ids, size_t lo, size_t hi, T pivot,
+                            CrackScratch<T>& scratch) {
+  const size_t n = hi - lo;
+  if (n == 0) return lo;
+  if (scratch.values.size() < n) {
+    scratch.values.resize(n);
+    scratch.rowids.resize(n);
+  }
+  T* vb = scratch.values.data();
+  RowId* ib = scratch.rowids.data();
+  size_t f = 0;
+  size_t b = n - 1;
+  for (size_t k = lo; k < hi; ++k) {
+    const T x = v[k];
+    const RowId r = ids[k];
+    // Write to both candidate slots, advance exactly one cursor.
+    vb[f] = x;
+    ib[f] = r;
+    vb[b] = x;
+    ib[b] = r;
+    const bool lt = x < pivot;
+    f += lt;
+    b -= !lt;
+  }
+  std::copy_n(vb, n, v + lo);
+  std::copy_n(ib, n, ids + lo);
+  return lo + f;
+}
+
+}  // namespace holix

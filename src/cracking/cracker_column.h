@@ -1,0 +1,625 @@
+/// \file cracker_column.h
+/// \brief The adaptive index: a cracker column plus its cracker index
+/// (§3.2), with piece-level concurrency control (§4.2, Figure 3), Ripple
+/// update merging [28], and optional payload alignment in the spirit of
+/// partial sideways cracking [29].
+///
+/// Latch ordering (outermost first):
+///   1. column latch   — read for cracks/scans, write for Ripple merges
+///                       (merges shift positions of many pieces at once);
+///   2. piece latch    — write to reorganize one piece, read to scan it;
+///   3. tree mutex     — shared to look up pieces, unique to add boundaries.
+/// A thread never acquires a piece latch while holding the tree mutex, so
+/// boundary inserts (piece latch -> unique tree) cannot deadlock against
+/// lookups (shared tree only).
+
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cracking/crack_config.h"
+#include "cracking/crack_kernels.h"
+#include "cracking/cracker_index.h"
+#include "cracking/parallel_crack.h"
+#include "storage/pending_updates.h"
+#include "storage/position_list.h"
+#include "storage/types.h"
+
+namespace holix {
+
+/// Monotonic counters describing the life of one adaptive index. All fields
+/// are safe to read concurrently; they feed the holistic statistics store.
+struct CrackStats {
+  std::atomic<uint64_t> accesses{0};       ///< User-query selects (f_I).
+  std::atomic<uint64_t> exact_hits{0};     ///< Selects with both bounds present (f_Ih).
+  std::atomic<uint64_t> query_cracks{0};   ///< Piece splits caused by queries.
+  std::atomic<uint64_t> worker_cracks{0};  ///< Piece splits caused by workers.
+  std::atomic<uint64_t> worker_skips{0};   ///< Worker try-latch failures (Fig. 3d).
+  std::atomic<uint64_t> merged_inserts{0}; ///< Pending inserts merged.
+  std::atomic<uint64_t> merged_deletes{0}; ///< Pending deletes merged.
+};
+
+/// An adaptive (cracked) index over one attribute.
+///
+/// The column stores (value, rowid) pairs which cracking physically
+/// reorganizes; an optional set of aligned payload columns is co-moved by
+/// the scalar kernels (sideways-style cracking, used by the TPC-H module).
+template <typename T>
+class CrackerColumn {
+ public:
+  /// Builds the cracker column as a copy of \p base with rowids 0..N-1.
+  /// This is the copy the first query pays for in adaptive indexing.
+  CrackerColumn(std::string name, const std::vector<T>& base)
+      : name_(std::move(name)), values_(base) {
+    rowids_.resize(values_.size());
+    for (size_t i = 0; i < rowids_.size(); ++i) rowids_[i] = i;
+    InitDomain();
+  }
+
+  /// Builds from explicit (value, rowid) vectors (tuple order preserved).
+  CrackerColumn(std::string name, std::vector<T> values,
+                std::vector<RowId> rowids)
+      : name_(std::move(name)),
+        values_(std::move(values)),
+        rowids_(std::move(rowids)) {
+    if (values_.size() != rowids_.size()) {
+      throw std::invalid_argument("values/rowids length mismatch");
+    }
+    InitDomain();
+  }
+
+  CrackerColumn(const CrackerColumn&) = delete;
+  CrackerColumn& operator=(const CrackerColumn&) = delete;
+
+  /// Attribute name this index covers.
+  const std::string& name() const { return name_; }
+
+  /// Number of rows.
+  size_t size() const { return values_.size(); }
+
+  /// Number of pieces (boundaries + 1). Lock-free snapshot.
+  size_t NumPieces() const {
+    return num_boundaries_.load(std::memory_order_relaxed) + 1;
+  }
+
+  /// Smallest base value (meaningful only when size() > 0).
+  T MinValue() const { return min_value_; }
+  /// Largest base value.
+  T MaxValue() const { return max_value_; }
+
+  /// Mutable counters (updated by operations, read by holistic indexing).
+  CrackStats& stats() { return stats_; }
+  /// Read-only counters.
+  const CrackStats& stats() const { return stats_; }
+
+  /// Pending-update queues of this attribute.
+  PendingUpdates<T>& pending() { return pending_; }
+
+  /// Attaches an aligned payload column (sideways cracking): payload row i
+  /// moves together with value row i from now on. Only allowed before any
+  /// cracking has happened; scalar kernels are then used for all cracks.
+  void AttachPayload(std::vector<int64_t> payload) {
+    if (payload.size() != values_.size()) {
+      throw std::invalid_argument("payload length mismatch");
+    }
+    if (NumPieces() != 1) {
+      throw std::logic_error("AttachPayload requires an uncracked column");
+    }
+    payloads_.push_back(std::move(payload));
+  }
+
+  /// Number of aligned payload columns.
+  size_t NumPayloads() const { return payloads_.size(); }
+
+  // ---------------------------------------------------------------------
+  // Select path (user queries)
+  // ---------------------------------------------------------------------
+
+  /// Range select: returns the contiguous positions whose values lie in
+  /// [low, high). Cracks at both bounds as a side effect; merges pending
+  /// updates overlapping the range first (Ripple, [28]).
+  PositionRange SelectRange(T low, T high, const CrackConfig& cfg = {}) {
+    stats_.accesses.fetch_add(1, std::memory_order_relaxed);
+    if (low >= high || values_.empty()) return {0, 0};
+    MergePendingInRange(low, high);
+
+    ReadGuard column_guard(column_latch_);
+    // Exact hit: both bounds already are boundaries -> no reorganization.
+    {
+      std::shared_lock<std::shared_mutex> lk(tree_mu_);
+      if (index_.HasBoundary(low) && index_.HasBoundary(high)) {
+        const size_t b = index_.FindPiece(low, size()).begin;
+        const size_t e = index_.FindPiece(high, size()).begin;
+        stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+        return {b, e};
+      }
+    }
+    // Fast path: both bounds inside the same piece -> crack-in-three.
+    if (auto range = TryCrackInThree(low, high, cfg)) return *range;
+    const size_t b = CrackAtBlocking(low, cfg);
+    const size_t e = CrackAtBlocking(high, cfg);
+    return {b, e};
+  }
+
+  /// Cracks at a single bound (blocking); returns the first position whose
+  /// value is >= w. Exposed for operators that need one-sided predicates.
+  size_t CrackAtBlocking(T w, const CrackConfig& cfg = {}) {
+    for (;;) {
+      PieceRef<T> piece = LookupPiece(w);
+      if (piece.exact) return piece.begin;
+      piece.latch->LockWrite();
+      PieceRef<T> cur = LookupPiece(w);
+      if (cur.exact) {
+        piece.latch->UnlockWrite();
+        return cur.begin;
+      }
+      if (cur.latch != piece.latch) {
+        piece.latch->UnlockWrite();
+        continue;  // the piece was split under us; retry on the new piece
+      }
+      // Stochastic cracking: impose extra order inside big target pieces
+      // with data-driven random pivots before the query-bound crack.
+      while (cfg.stochastic && cfg.rng != nullptr &&
+             cur.size() > cfg.stochastic_min_piece) {
+        const size_t probe =
+            cur.begin + cfg.rng->Below(std::max<size_t>(1, cur.size()));
+        const T rnd_pivot = values_[probe];
+        if (rnd_pivot <= cur.lo_value.value_or(
+                             std::numeric_limits<T>::lowest()) ||
+            rnd_pivot == w) {
+          break;  // degenerate pivot; no order to impose
+        }
+        const size_t cut = Partition(cur.begin, cur.end, rnd_pivot, cfg);
+        InsertBoundary(rnd_pivot, cut);
+        stats_.query_cracks.fetch_add(1, std::memory_order_relaxed);
+        if (w < rnd_pivot) {
+          cur.end = cut;
+          cur.hi_value = rnd_pivot;
+        } else if (w > rnd_pivot) {
+          // Piece latch of [cut, end) is the new boundary's latch; we must
+          // switch latches: release ours, retry from the top.
+          piece.latch->UnlockWrite();
+          goto retry;
+        } else {
+          piece.latch->UnlockWrite();
+          return cut;
+        }
+      }
+      {
+        const size_t cut = Partition(cur.begin, cur.end, w, cfg);
+        InsertBoundary(w, cut);
+        stats_.query_cracks.fetch_add(1, std::memory_order_relaxed);
+        piece.latch->UnlockWrite();
+        return cut;
+      }
+    retry:;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Holistic refinement path (worker threads)
+  // ---------------------------------------------------------------------
+
+  /// One holistic refinement step: crack the piece containing \p pivot.
+  /// Never blocks on a piece latch — if the piece is busy the caller picks
+  /// another pivot (Figure 3). Also merges pending updates overlapping the
+  /// piece, so workers bring the index up to date as a side effect (§4.2).
+  /// \return true when a crack happened.
+  bool TryRefineAt(T pivot, const CrackConfig& cfg = {}) {
+    {
+      ReadGuard column_guard(column_latch_);
+      PieceRef<T> piece = LookupPiece(pivot);
+      if (piece.exact) return false;
+      if (!piece.latch->TryLockWrite()) {
+        stats_.worker_skips.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      PieceRef<T> cur = LookupPiece(pivot);
+      if (cur.exact || cur.latch != piece.latch) {
+        piece.latch->UnlockWrite();
+        return false;
+      }
+      const size_t cut = Partition(cur.begin, cur.end, pivot, cfg);
+      InsertBoundary(pivot, cut);
+      stats_.worker_cracks.fetch_add(1, std::memory_order_relaxed);
+      piece.latch->UnlockWrite();
+    }
+    // Merge any pending updates that the refined pieces cover; uses the
+    // column write latch, so it happens outside the read-guarded section.
+    MergePendingAround(pivot);
+    return true;
+  }
+
+  // ---------------------------------------------------------------------
+  // Result consumption
+  // ---------------------------------------------------------------------
+
+  /// Applies fn(value, rowid) to every row in \p range, taking piece read
+  /// latches so concurrent cracks of the same pieces cannot tear rows.
+  template <typename Fn>
+  void ScanRange(PositionRange range, Fn&& fn) const {
+    ReadGuard column_guard(column_latch_);
+    size_t pos = range.begin;
+    while (pos < range.end) {
+      PieceRef<T> piece;
+      {
+        std::shared_lock<std::shared_mutex> lk(tree_mu_);
+        piece = index_.FindPieceByPosition(pos, size());
+      }
+      piece.latch->LockRead();
+      // Revalidate: the piece may have been split between lookup and latch
+      // acquisition, in which case positions past the new cut belong to a
+      // different latch and must not be read under this one.
+      PieceRef<T> cur;
+      {
+        std::shared_lock<std::shared_mutex> lk(tree_mu_);
+        cur = index_.FindPieceByPosition(pos, size());
+      }
+      if (cur.latch != piece.latch) {
+        piece.latch->UnlockRead();
+        continue;
+      }
+      const size_t stop = std::min(range.end, cur.end);
+      for (size_t i = pos; i < stop; ++i) fn(values_[i], rowids_[i]);
+      piece.latch->UnlockRead();
+      pos = stop;
+    }
+  }
+
+  /// Sum of values in \p range (a cheap aggregate used by benchmarks to
+  /// force result consumption).
+  int64_t SumRange(PositionRange range) const {
+    int64_t sum = 0;
+    ScanRange(range, [&](T v, RowId) { sum += static_cast<int64_t>(v); });
+    return sum;
+  }
+
+  /// Materializes the rowids in \p range (tuple reconstruction input).
+  PositionList FetchRowIds(PositionRange range) const {
+    PositionList out;
+    out.reserve(range.size());
+    ScanRange(range, [&](T, RowId r) { out.push_back(r); });
+    return out;
+  }
+
+  /// Unsynchronized value access. Callers must guarantee quiescence (tests,
+  /// single-threaded tools); concurrent cracks may reorder rows under you.
+  T ValueAtUnsafe(size_t pos) const { return values_[pos]; }
+  /// Unsynchronized rowid access (same caveat as ValueAtUnsafe).
+  RowId RowIdAtUnsafe(size_t pos) const { return rowids_[pos]; }
+  /// Unsynchronized payload access (same caveat as ValueAtUnsafe).
+  int64_t PayloadAtUnsafe(size_t payload_idx, size_t pos) const {
+    return payloads_[payload_idx][pos];
+  }
+
+  // ---------------------------------------------------------------------
+  // Updates (Ripple, [28])
+  // ---------------------------------------------------------------------
+
+  /// Merges every pending insert/delete whose value lies in [low, high)
+  /// into the cracker column without invalidating any boundary.
+  void MergePendingInRange(T low, T high) {
+    if (pending_.PendingInserts() == 0 && pending_.PendingDeletes() == 0)
+      return;
+    auto ins = pending_.TakeInsertsInRange(low, high);
+    auto del = pending_.TakeDeletesInRange(low, high);
+    if (ins.empty() && del.empty()) return;
+    WriteGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    auto nodes = index_.CollectBoundaries();
+    for (const auto& [v, rid] : ins) RippleInsert(nodes, v, rid);
+    for (const auto& [v, rid] : del) RippleDelete(nodes, v, rid);
+    stats_.merged_inserts.fetch_add(ins.size(), std::memory_order_relaxed);
+    stats_.merged_deletes.fetch_add(del.size(), std::memory_order_relaxed);
+  }
+
+  /// Suggests a refinement pivot inside the biggest (or smallest) piece.
+  /// This is the O(#pieces) bookkeeping scan the paper's "Index
+  /// Refinement" discussion warns about; exposed so the pivot-policy
+  /// ablation can measure the trade-off. Returns a data-driven value from
+  /// inside the chosen piece, or nullopt when no piece is crackable.
+  /// \param biggest    true = largest piece, false = smallest (size >= 2).
+  /// \param rng        position sampler within the chosen piece.
+  /// \param min_piece  ignore pieces smaller than this many rows.
+  std::optional<T> SuggestExtremePiecePivot(bool biggest, Rng& rng,
+                                            size_t min_piece = 2) const {
+    ReadGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    size_t best_begin = 0, best_end = 0;
+    bool found = false;
+    size_t prev = 0;
+    auto consider = [&](size_t lo, size_t hi) {
+      const size_t len = hi - lo;
+      if (len < std::max<size_t>(2, min_piece)) return;
+      const size_t best_len = best_end - best_begin;
+      if (!found || (biggest ? len > best_len : len < best_len)) {
+        best_begin = lo;
+        best_end = hi;
+        found = true;
+      }
+    };
+    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
+        [&](typename CrackerIndex<T>::Node& n) {
+          consider(prev, n.pos);
+          prev = n.pos;
+        });
+    consider(prev, size());
+    if (!found) return std::nullopt;
+    const size_t probe =
+        best_begin + rng.Below(static_cast<uint64_t>(best_end - best_begin));
+    return values_[probe];
+  }
+
+  /// Pieces of diagnostics: piece sizes in position order.
+  std::vector<size_t> PieceSizes() const {
+    ReadGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    std::vector<size_t> sizes;
+    size_t prev = 0;
+    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
+        [&](typename CrackerIndex<T>::Node& n) {
+          sizes.push_back(n.pos - prev);
+          prev = n.pos;
+        });
+    sizes.push_back(size() - prev);
+    return sizes;
+  }
+
+  /// Verifies the cracker invariant: every piece only holds values within
+  /// its boundary range, and boundary positions are monotone. O(N).
+  /// \return true when consistent. Test/debug helper.
+  bool CheckInvariants() const {
+    ReadGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    size_t prev_pos = 0;
+    std::optional<T> prev_val;
+    bool ok = true;
+    auto check_piece = [&](size_t lo, size_t hi, std::optional<T> lo_v,
+                           std::optional<T> hi_v) {
+      for (size_t i = lo; i < hi; ++i) {
+        if (lo_v && values_[i] < *lo_v) ok = false;
+        if (hi_v && values_[i] >= *hi_v) ok = false;
+      }
+    };
+    std::optional<T> lo_v;
+    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
+        [&](typename CrackerIndex<T>::Node& n) {
+          if (n.pos < prev_pos) ok = false;
+          if (prev_val && !(*prev_val < n.value)) ok = false;
+          check_piece(prev_pos, n.pos, lo_v, n.value);
+          prev_pos = n.pos;
+          lo_v = n.value;
+          prev_val = n.value;
+        });
+    check_piece(prev_pos, size(), lo_v, std::nullopt);
+    return ok;
+  }
+
+ private:
+  void InitDomain() {
+    if (!values_.empty()) {
+      auto [mn, mx] = std::minmax_element(values_.begin(), values_.end());
+      min_value_ = *mn;
+      max_value_ = *mx;
+    }
+  }
+
+  PieceRef<T> LookupPiece(T w) const {
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
+    return index_.FindPiece(w, size());
+  }
+
+  /// Partitions [begin, end) at \p pivot with the configured kernel while
+  /// the caller holds the piece's write latch. Columns with aligned
+  /// payloads always use the scalar kernel (it co-moves payload rows).
+  size_t Partition(size_t begin, size_t end, T pivot,
+                   const CrackConfig& cfg) {
+    if (!payloads_.empty()) {
+      return CrackInTwoScalar(values_.data(), begin, end, pivot,
+                              [this](size_t i, size_t j) { SwapRows(i, j); });
+    }
+    switch (cfg.algo) {
+      case CrackAlgo::kScalar:
+        return CrackInTwoScalar(
+            values_.data(), begin, end, pivot, [this](size_t i, size_t j) {
+              std::swap(values_[i], values_[j]);
+              std::swap(rowids_[i], rowids_[j]);
+            });
+      case CrackAlgo::kParallel:
+        if (cfg.pool != nullptr && cfg.parallel_threads > 1) {
+          return ParallelCrackInTwo(values_.data(), rowids_.data(), begin,
+                                    end, pivot, *cfg.pool,
+                                    cfg.parallel_threads,
+                                    cfg.min_parallel_piece);
+        }
+        [[fallthrough]];
+      case CrackAlgo::kOutOfPlace:
+        return CrackInTwoOutOfPlace(values_.data(), rowids_.data(), begin,
+                                    end, pivot,
+                                    ThreadLocalCrackScratch<T>());
+    }
+    return begin;
+  }
+
+  void SwapRows(size_t i, size_t j) {
+    std::swap(values_[i], values_[j]);
+    std::swap(rowids_[i], rowids_[j]);
+    for (auto& p : payloads_) std::swap(p[i], p[j]);
+  }
+
+  void InsertBoundary(T value, size_t pos) {
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    index_.Insert(value, pos);
+    num_boundaries_.store(index_.num_boundaries(), std::memory_order_relaxed);
+  }
+
+  /// Crack-in-three fast path: both bounds in one piece, one latch, one
+  /// pass over the data. Returns nullopt when the bounds span pieces (the
+  /// caller falls back to two crack-in-twos).
+  std::optional<PositionRange> TryCrackInThree(T low, T high,
+                                               const CrackConfig& cfg) {
+    PieceRef<T> piece = LookupPiece(low);
+    if (piece.exact || piece.hi_value.value_or(high) < high ||
+        (piece.hi_value && *piece.hi_value == high)) {
+      return std::nullopt;
+    }
+    if (piece.hi_value && high > *piece.hi_value) return std::nullopt;
+    piece.latch->LockWrite();
+    PieceRef<T> cur = LookupPiece(low);
+    const bool still_spans =
+        !cur.exact && cur.latch == piece.latch &&
+        (!cur.hi_value || high < *cur.hi_value);
+    if (!still_spans) {
+      piece.latch->UnlockWrite();
+      return std::nullopt;
+    }
+    // Stochastic pre-cracks would complicate the three-way path; stochastic
+    // configurations use the two-sided path instead.
+    if (cfg.stochastic && cur.size() > cfg.stochastic_min_piece) {
+      piece.latch->UnlockWrite();
+      return std::nullopt;
+    }
+    size_t a, b;
+    if (!payloads_.empty()) {
+      std::tie(a, b) = CrackInThreeScalar(
+          values_.data(), cur.begin, cur.end, low, high,
+          [this](size_t i, size_t j) { SwapRows(i, j); });
+    } else {
+      std::tie(a, b) = CrackInThreeScalar(
+          values_.data(), cur.begin, cur.end, low, high,
+          [this](size_t i, size_t j) {
+            std::swap(values_[i], values_[j]);
+            std::swap(rowids_[i], rowids_[j]);
+          });
+    }
+    {
+      std::unique_lock<std::shared_mutex> lk(tree_mu_);
+      index_.Insert(low, a);
+      index_.Insert(high, b);
+      num_boundaries_.store(index_.num_boundaries(),
+                            std::memory_order_relaxed);
+    }
+    stats_.query_cracks.fetch_add(2, std::memory_order_relaxed);
+    piece.latch->UnlockWrite();
+    return PositionRange{a, b};
+  }
+
+  /// Merges pending updates covering the piece around \p pivot (worker
+  /// side-job). Cheap when the pending queues are empty.
+  void MergePendingAround(T pivot) {
+    if (pending_.PendingInserts() == 0 && pending_.PendingDeletes() == 0)
+      return;
+    std::optional<T> lo_v, hi_v;
+    {
+      std::shared_lock<std::shared_mutex> lk(tree_mu_);
+      const PieceRef<T> piece = index_.FindPiece(pivot, size());
+      lo_v = piece.lo_value;
+      hi_v = piece.hi_value;
+    }
+    const T low = lo_v.value_or(std::numeric_limits<T>::lowest());
+    const T high = hi_v.value_or(std::numeric_limits<T>::max());
+    MergePendingInRange(low, high);
+  }
+
+  /// Ripple-inserts (v, rid), keeping every boundary valid. The caller
+  /// holds the column write latch and the unique tree lock; \p nodes is the
+  /// boundary list in ascending value order (positions updated in place).
+  void RippleInsert(std::vector<typename CrackerIndex<T>::Node*>& nodes,
+                    T v, RowId rid) {
+    if (!payloads_.empty()) {
+      throw std::logic_error("updates unsupported on payload-aligned column");
+    }
+    // Index of the first boundary whose value is > v: the target piece ends
+    // at that boundary's position.
+    size_t j = nodes.size();
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i]->value > v) {
+        j = i;
+        break;
+      }
+    }
+    values_.push_back(v);
+    rowids_.push_back(rid);
+    size_t hole = values_.size() - 1;
+    for (size_t i = nodes.size(); i-- > j;) {
+      const size_t p = nodes[i]->pos;
+      values_[hole] = values_[p];
+      rowids_[hole] = rowids_[p];
+      hole = p;
+      nodes[i]->pos = p + 1;
+    }
+    values_[hole] = v;
+    rowids_[hole] = rid;
+    if (v < min_value_) min_value_ = v;
+    if (v > max_value_) max_value_ = v;
+  }
+
+  /// Ripple-deletes the row (v, rid). Returns silently when absent (the
+  /// value may never have existed or was already deleted).
+  void RippleDelete(std::vector<typename CrackerIndex<T>::Node*>& nodes,
+                    T v, RowId rid) {
+    if (values_.empty()) return;
+    size_t j = nodes.size();
+    size_t begin = 0;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i]->value > v) {
+        j = i;
+        break;
+      }
+      begin = nodes[i]->pos;
+    }
+    const size_t end = j < nodes.size() ? nodes[j]->pos : values_.size();
+    size_t found = end;
+    for (size_t i = begin; i < end; ++i) {
+      if (values_[i] == v && rowids_[i] == rid) {
+        found = i;
+        break;
+      }
+    }
+    if (found == end) return;  // not materialized
+    // Fill the hole with the target piece's last row, then bubble the hole
+    // upward one piece at a time.
+    values_[found] = values_[end - 1];
+    rowids_[found] = rowids_[end - 1];
+    size_t hole = end - 1;
+    for (size_t i = j; i < nodes.size(); ++i) {
+      const size_t piece_end =
+          (i + 1 < nodes.size()) ? nodes[i + 1]->pos : values_.size();
+      values_[hole] = values_[piece_end - 1];
+      rowids_[hole] = rowids_[piece_end - 1];
+      nodes[i]->pos = nodes[i]->pos - 1;
+      hole = piece_end - 1;
+    }
+    values_.pop_back();
+    rowids_.pop_back();
+  }
+
+  std::string name_;
+  std::vector<T> values_;
+  std::vector<RowId> rowids_;
+  std::vector<std::vector<int64_t>> payloads_;
+
+  CrackerIndex<T> index_;
+  mutable std::shared_mutex tree_mu_;
+  mutable RwSpinLatch column_latch_;
+  std::atomic<size_t> num_boundaries_{0};
+
+  PendingUpdates<T> pending_;
+  CrackStats stats_;
+  T min_value_{};
+  T max_value_{};
+};
+
+using Int32CrackerColumn = CrackerColumn<int32_t>;
+using Int64CrackerColumn = CrackerColumn<int64_t>;
+
+}  // namespace holix

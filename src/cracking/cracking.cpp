@@ -1,0 +1,12 @@
+// Anchor translation unit: explicit instantiations of the cracking
+// templates for the engine's supported key types.
+#include "cracking/cracker_column.h"
+#include "cracking/cracker_index.h"
+#include "cracking/pre_crack.h"
+
+namespace holix {
+template class CrackerIndex<int32_t>;
+template class CrackerIndex<int64_t>;
+template class CrackerColumn<int32_t>;
+template class CrackerColumn<int64_t>;
+}  // namespace holix

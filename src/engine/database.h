@@ -1,0 +1,193 @@
+/// \file database.h
+/// \brief The engine facade: a main-memory column-store with pluggable
+/// indexing modes, reproducing every system compared in §5.
+///
+/// Execution modes:
+///  * kScan       — parallel full scans (MonetDB's plain select).
+///  * kOffline    — all columns pre-sorted; cost charged to the 1st query.
+///  * kOnline     — scans during an observation window, then sorts the
+///                  accessed columns (COLT-style, §2).
+///  * kAdaptive   — parallel vectorized database cracking, PVDC [44].
+///  * kStochastic — parallel vectorized stochastic cracking, PVSDC [21,44].
+///  * kCCGI       — modified parallel chunked coarse-granular index [8].
+///  * kHolistic   — PVDC for user queries + the always-on holistic engine
+///                  refining indices on idle hardware contexts (§4).
+///
+/// The facade works on int64 attributes (the paper's workloads are integer
+/// columns); the TPC-H module drives cracker columns with payloads
+/// directly.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/full_scan.h"
+#include "baselines/sorted_index.h"
+#include "cracking/cracker_column.h"
+#include "cracking/pre_crack.h"
+#include "holistic/holistic_engine.h"
+#include "storage/catalog.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace holix {
+
+/// Indexing/execution mode of a Database instance.
+enum class ExecMode : uint8_t {
+  kScan,
+  kOffline,
+  kOnline,
+  kAdaptive,
+  kStochastic,
+  kCCGI,
+  kHolistic,
+};
+
+/// Printable name of an execution mode.
+const char* ExecModeName(ExecMode m);
+
+/// Construction-time options of a Database.
+struct DatabaseOptions {
+  /// Indexing approach used by select operators.
+  ExecMode mode = ExecMode::kAdaptive;
+
+  /// Hardware contexts assigned to each user query (the "uX" in the
+  /// paper's uXwYxZ labels).
+  size_t user_threads = 1;
+
+  /// Hardware contexts of the whole machine (contexts not used by queries
+  /// are what holistic indexing may exploit).
+  size_t total_cores = 0;  ///< 0 = hardware_concurrency().
+
+  /// kOnline: queries answered by scans before the sorting step.
+  size_t online_observation_window = 100;
+
+  /// kCCGI: number of coarse chunks (0 = user_threads).
+  size_t ccgi_chunks = 0;
+
+  /// kHolistic: engine knobs (workers, x, strategy, budget, ...).
+  HolisticConfig holistic;
+
+  /// kHolistic: use kernel statistics (/proc/stat) instead of the
+  /// deterministic slot monitor.
+  bool use_proc_stat_monitor = false;
+
+  /// Seed for stochastic cracking pivots.
+  uint64_t seed = 42;
+};
+
+/// A main-memory column-store database with self-organizing indexing.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Schema and base data.
+  Catalog& catalog() { return catalog_; }
+
+  /// Creates table \p table (if needed) and adds an int64 column.
+  void LoadColumn(const std::string& table, const std::string& column,
+                  std::vector<int64_t> data);
+
+  /// select count(*) from table where low <= column < high.
+  /// Cracks / sorts / scans according to the configured mode.
+  size_t CountRange(const std::string& table, const std::string& column,
+                    int64_t low, int64_t high);
+
+  /// select sum(column) ... : forces the engine to touch qualifying rows.
+  int64_t SumRange(const std::string& table, const std::string& column,
+                   int64_t low, int64_t high);
+
+  /// Materializes qualifying rowids (tuple-reconstruction input).
+  PositionList SelectRowIds(const std::string& table,
+                            const std::string& column, int64_t low,
+                            int64_t high);
+
+  /// The paper's §3.1 query shape — `select B from R where lo <= A < hi` —
+  /// reduced to a checksum: selects on \p where_column, then projects
+  /// \p project_column positionally through the qualifying rowids and
+  /// returns its sum. Exercises late tuple reconstruction.
+  int64_t ProjectSum(const std::string& table,
+                     const std::string& where_column,
+                     const std::string& project_column, int64_t low,
+                     int64_t high);
+
+  /// Inserts a value into a cracked attribute (pending-insert queue, merged
+  /// on demand; §5.7). Requires a cracking mode. \return assigned rowid.
+  RowId Insert(const std::string& table, const std::string& column,
+               int64_t value);
+
+  /// Deletes one row holding \p value (pending-delete queue). \return true
+  /// when a matching row was found.
+  bool Delete(const std::string& table, const std::string& column,
+              int64_t value);
+
+  /// Sorts every loaded column now (offline indexing's up-front
+  /// investment). Implicit on first query in kOffline mode.
+  void PrepareOfflineIndexes();
+
+  /// Registers a speculative index on an attribute into C_potential
+  /// (kHolistic; Fig. 9's idle-time pre-indexing).
+  void SeedPotentialIndex(const std::string& table,
+                          const std::string& column);
+
+  /// The holistic engine (nullptr unless mode is kHolistic).
+  HolisticEngine* holistic() { return holistic_.get(); }
+
+  /// Sum of pieces over all adaptive indices (Fig. 6(c) telemetry).
+  size_t TotalIndexPieces() const;
+
+  /// Number of adaptive indices materialized so far.
+  size_t NumAdaptiveIndices() const;
+
+  /// The options this database was built with.
+  const DatabaseOptions& options() const { return options_; }
+
+  /// The shared query worker pool.
+  ThreadPool& query_pool() { return *query_pool_; }
+
+ private:
+  struct ColumnRuntime {
+    std::shared_ptr<CrackerColumn<int64_t>> cracker;
+    std::shared_ptr<SortedIndex<int64_t>> sorted;
+  };
+
+  static std::string Key(const std::string& table, const std::string& column) {
+    return table + "." + column;
+  }
+
+  const Column<int64_t>& BaseColumn(const std::string& table,
+                                    const std::string& column) const;
+  ColumnRuntime& Runtime(const std::string& key);
+  std::shared_ptr<CrackerColumn<int64_t>> EnsureCracker(
+      const std::string& table, const std::string& column);
+  std::shared_ptr<SortedIndex<int64_t>> EnsureSorted(
+      const std::string& table, const std::string& column);
+  CrackConfig QueryCrackConfig();
+  PositionRange CrackedSelect(const std::string& table,
+                              const std::string& column, int64_t low,
+                              int64_t high,
+                              std::shared_ptr<CrackerColumn<int64_t>>* out);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<ThreadPool> query_pool_;
+  std::unique_ptr<HolisticEngine> holistic_;
+  SlotCpuMonitor* slot_monitor_ = nullptr;  // owned by holistic_
+
+  mutable std::mutex runtime_mu_;
+  std::unordered_map<std::string, ColumnRuntime> runtime_;
+  std::atomic<uint64_t> queries_executed_{0};
+  std::atomic<uint64_t> next_insert_rowid_{0};
+  bool offline_prepared_ = false;
+};
+
+}  // namespace holix

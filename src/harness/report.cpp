@@ -1,0 +1,98 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace holix {
+
+void ReportTable::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void ReportTable::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void ReportTable::Print() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n== %s ==\n", title_.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header_);
+  size_t total_width = 2 * widths.size();
+  for (size_t w : widths) total_width += w;
+  std::printf("%s\n", std::string(total_width, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", seconds);
+  return buf;
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+double ResponseSeries::Total() const {
+  return std::accumulate(latencies_.begin(), latencies_.end(), 0.0);
+}
+
+double ResponseSeries::CumulativeAt(size_t k) const {
+  k = std::min(k, latencies_.size());
+  return std::accumulate(latencies_.begin(), latencies_.begin() + k, 0.0);
+}
+
+std::vector<double> ResponseSeries::DecadeBreakdown() const {
+  std::vector<double> buckets;
+  size_t lo = 0;
+  size_t hi = 1;
+  while (lo < latencies_.size()) {
+    const size_t end = std::min(hi, latencies_.size());
+    buckets.push_back(std::accumulate(latencies_.begin() + lo,
+                                      latencies_.begin() + end, 0.0));
+    lo = end;
+    hi = hi * 10;
+  }
+  return buckets;
+}
+
+std::vector<std::pair<size_t, double>> ResponseSeries::LogSpacedCurve()
+    const {
+  std::vector<std::pair<size_t, double>> curve;
+  double running = 0;
+  size_t next_mark = 1;
+  size_t step_base = 1;
+  for (size_t i = 0; i < latencies_.size(); ++i) {
+    running += latencies_[i];
+    if (i + 1 == next_mark || i + 1 == latencies_.size()) {
+      curve.emplace_back(i + 1, running);
+      if (next_mark >= 10 * step_base) step_base *= 10;
+      if (next_mark == step_base) {
+        next_mark = 2 * step_base;
+      } else if (next_mark == 2 * step_base) {
+        next_mark = 5 * step_base;
+      } else {
+        next_mark = 10 * step_base;
+      }
+    }
+  }
+  return curve;
+}
+
+}  // namespace holix

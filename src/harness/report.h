@@ -1,0 +1,70 @@
+/// \file report.h
+/// \brief Experiment reporting: fixed-width tables, cumulative response
+/// curves and the paper's 1/9/90/900 breakdowns.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace holix {
+
+/// Fixed-width console table. Columns are sized to their widest cell.
+class ReportTable {
+ public:
+  /// \param title printed above the table.
+  explicit ReportTable(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row (cells are pre-formatted strings).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table to stdout.
+  void Print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with 4 significant decimals.
+std::string FormatSeconds(double seconds);
+
+/// Formats a double with \p decimals digits.
+std::string FormatDouble(double v, int decimals = 3);
+
+/// Per-query timing series with the derived views the paper plots.
+class ResponseSeries {
+ public:
+  /// Records the latency of the next query.
+  void Add(double seconds) { latencies_.push_back(seconds); }
+
+  /// Number of recorded queries.
+  size_t size() const { return latencies_.size(); }
+
+  /// Total (cumulative) response time.
+  double Total() const;
+
+  /// Cumulative response time after the first \p k queries.
+  double CumulativeAt(size_t k) const;
+
+  /// The paper's Fig. 6(b) breakdown: totals of queries [1], [2..10],
+  /// [11..100], [101..1000], ... (decade buckets).
+  std::vector<double> DecadeBreakdown() const;
+
+  /// Cumulative curve sampled at log-spaced query counts (1, 2, 5, 10,
+  /// 20, 50, ...), as (query_count, cumulative_seconds) pairs.
+  std::vector<std::pair<size_t, double>> LogSpacedCurve() const;
+
+  /// Raw latencies in execution order.
+  const std::vector<double>& latencies() const { return latencies_; }
+
+ private:
+  std::vector<double> latencies_;
+};
+
+}  // namespace holix

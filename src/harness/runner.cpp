@@ -1,0 +1,64 @@
+#include "harness/runner.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/timer.h"
+
+namespace holix {
+
+std::vector<std::string> MakeAttributeNames(size_t n) {
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (size_t i = 0; i < n; ++i) names.push_back("a" + std::to_string(i));
+  return names;
+}
+
+void LoadUniformTable(Database& db, const std::string& table,
+                      size_t num_attrs, size_t rows, int64_t domain,
+                      uint64_t seed) {
+  const auto names = MakeAttributeNames(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    db.LoadColumn(table, names[i],
+                  GenerateUniformColumn(rows, domain, seed + i));
+  }
+}
+
+RunResult RunWorkload(Database& db, const std::string& table,
+                      const std::vector<std::string>& columns,
+                      const std::vector<RangeQuery>& queries) {
+  RunResult result;
+  result.result_checksum = 0;
+  for (const RangeQuery& q : queries) {
+    Timer t;
+    const size_t count = db.CountRange(table, columns[q.attr], q.low, q.high);
+    result.series.Add(t.ElapsedSeconds());
+    result.result_checksum += count;
+  }
+  return result;
+}
+
+double RunWorkloadConcurrent(Database& db, const std::string& table,
+                             const std::vector<std::string>& columns,
+                             const std::vector<RangeQuery>& queries,
+                             size_t clients) {
+  clients = std::max<size_t>(1, clients);
+  std::atomic<size_t> next{0};
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= queries.size()) return;
+        const RangeQuery& q = queries[i];
+        db.CountRange(table, columns[q.attr], q.low, q.high);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return wall.ElapsedSeconds();
+}
+
+}  // namespace holix

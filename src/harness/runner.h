@@ -1,0 +1,45 @@
+/// \file runner.h
+/// \brief Shared experiment plumbing: loading synthetic tables into a
+/// Database and replaying workloads with per-query timing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/database.h"
+#include "harness/report.h"
+#include "workload/workload.h"
+
+namespace holix {
+
+/// Attribute names "a0".."a{n-1}".
+std::vector<std::string> MakeAttributeNames(size_t n);
+
+/// Loads \p num_attrs uniform int64 columns of \p rows values in
+/// [0, domain) into table \p table of \p db (attribute i gets seed+i).
+void LoadUniformTable(Database& db, const std::string& table,
+                      size_t num_attrs, size_t rows, int64_t domain,
+                      uint64_t seed);
+
+/// Result of replaying a workload.
+struct RunResult {
+  ResponseSeries series;     ///< Per-query latencies, in order.
+  uint64_t result_checksum;  ///< Sum of per-query counts (correctness probe).
+};
+
+/// Replays \p queries against \p db sequentially (one client), timing each
+/// CountRange call.
+RunResult RunWorkload(Database& db, const std::string& table,
+                      const std::vector<std::string>& columns,
+                      const std::vector<RangeQuery>& queries);
+
+/// Replays \p queries with \p clients concurrent client threads, each
+/// taking queries round-robin. Returns total wall-clock seconds.
+double RunWorkloadConcurrent(Database& db, const std::string& table,
+                             const std::vector<std::string>& columns,
+                             const std::vector<RangeQuery>& queries,
+                             size_t clients);
+
+}  // namespace holix

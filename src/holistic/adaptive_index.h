@@ -1,0 +1,119 @@
+/// \file adaptive_index.h
+/// \brief Type-erased view of an adaptive index, as seen by the holistic
+/// indexing machinery (§4.1).
+///
+/// Holistic indexing must manage indices over attributes of any type; this
+/// interface exposes exactly what the tuning loop needs: piece statistics
+/// (for Equation 1 and the W-strategies), the ability to crack at a random
+/// pivot with try-latch semantics, and the index's storage footprint (for
+/// the storage budget).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "cracking/crack_config.h"
+#include "cracking/cracker_column.h"
+#include "holistic/pivot_policy.h"
+#include "util/cache_info.h"
+#include "util/rng.h"
+
+namespace holix {
+
+/// Abstract adaptive index participating in the index space IS.
+class AdaptiveIndex {
+ public:
+  virtual ~AdaptiveIndex() = default;
+
+  /// Unique name (usually "table.attribute").
+  virtual const std::string& name() const = 0;
+  /// Cardinality N_A of the cracker column.
+  virtual size_t NumRows() const = 0;
+  /// Current number of pieces p_A.
+  virtual size_t NumPieces() const = 0;
+  /// Bytes per key element (|T|), used to express |L1| in elements.
+  virtual size_t ElementSize() const = 0;
+  /// Bytes materialized by this index (cracker column + rowids).
+  virtual size_t SizeBytes() const = 0;
+  /// Life counters (accesses f_I, exact hits f_Ih, cracks, ...).
+  virtual const CrackStats& stats() const = 0;
+
+  /// One refinement step: pick a random pivot in the attribute's domain and
+  /// crack the piece it falls into, with try-latch semantics. Implementors
+  /// must *not* block on busy pieces (Figure 3: the worker re-picks).
+  /// \return true when a crack happened (piece free and pivot non-degenerate).
+  virtual bool RefineAtRandomPivot(Rng& rng, const CrackConfig& cfg) = 0;
+
+  /// Policy-driven refinement (§4.2 ablation): kRandom delegates to
+  /// RefineAtRandomPivot; the piece-targeting policies pay a piece scan to
+  /// aim the crack. Implementations with no piece information may fall
+  /// back to the random policy.
+  virtual bool RefineWithPolicy(PivotPolicy policy, Rng& rng,
+                                const CrackConfig& cfg) {
+    (void)policy;
+    return RefineAtRandomPivot(rng, cfg);
+  }
+
+  /// Distance from the optimal index per Equation (1):
+  /// d(I, I_opt) = N_A / p_A - |L1| elements, clamped at zero.
+  double DistanceToOptimal() const {
+    if (NumRows() == 0) return 0.0;
+    const double avg_piece =
+        static_cast<double>(NumRows()) / static_cast<double>(NumPieces());
+    const double l1_elems = static_cast<double>(L1Elements(ElementSize()));
+    const double d = avg_piece - l1_elems;
+    return d > 0 ? d : 0.0;
+  }
+
+  /// True when the index reached optimal status (d == 0).
+  bool IsOptimal() const { return DistanceToOptimal() <= 0.0; }
+};
+
+/// Adapter binding a CrackerColumn<T> to the AdaptiveIndex interface.
+template <typename T>
+class CrackerAdaptiveIndex : public AdaptiveIndex {
+ public:
+  explicit CrackerAdaptiveIndex(std::shared_ptr<CrackerColumn<T>> column)
+      : column_(std::move(column)) {}
+
+  const std::string& name() const override { return column_->name(); }
+  size_t NumRows() const override { return column_->size(); }
+  size_t NumPieces() const override { return column_->NumPieces(); }
+  size_t ElementSize() const override { return sizeof(T); }
+  size_t SizeBytes() const override {
+    return column_->size() * (sizeof(T) + sizeof(RowId));
+  }
+  const CrackStats& stats() const override { return column_->stats(); }
+
+  bool RefineAtRandomPivot(Rng& rng, const CrackConfig& cfg) override {
+    const T lo = column_->MinValue();
+    const T hi = column_->MaxValue();
+    if (lo >= hi) return false;
+    const T pivot = static_cast<T>(
+        rng.Range(static_cast<int64_t>(lo) + 1, static_cast<int64_t>(hi)));
+    return column_->TryRefineAt(pivot, cfg);
+  }
+
+  bool RefineWithPolicy(PivotPolicy policy, Rng& rng,
+                        const CrackConfig& cfg) override {
+    if (policy == PivotPolicy::kRandom) {
+      return RefineAtRandomPivot(rng, cfg);
+    }
+    const size_t l1 = L1Elements(sizeof(T));
+    const auto pivot = column_->SuggestExtremePiecePivot(
+        policy == PivotPolicy::kBiggestPiece, rng,
+        /*min_piece=*/std::max<size_t>(2, l1));
+    if (!pivot.has_value()) return RefineAtRandomPivot(rng, cfg);
+    return column_->TryRefineAt(*pivot, cfg);
+  }
+
+  /// The wrapped cracker column.
+  const std::shared_ptr<CrackerColumn<T>>& column() const { return column_; }
+
+ private:
+  std::shared_ptr<CrackerColumn<T>> column_;
+};
+
+}  // namespace holix

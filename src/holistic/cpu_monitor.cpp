@@ -1,0 +1,59 @@
+#include "holistic/cpu_monitor.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace holix {
+
+ProcStatCpuMonitor::ProcStatCpuMonitor(double interval_seconds)
+    : interval_seconds_(interval_seconds),
+      total_cores_(std::thread::hardware_concurrency()) {
+  if (total_cores_ == 0) total_cores_ = 1;
+}
+
+ProcStatCpuMonitor::CpuTimes ProcStatCpuMonitor::ReadProcStat() {
+  CpuTimes t;
+  std::ifstream f("/proc/stat");
+  std::string line;
+  if (!std::getline(f, line)) return t;
+  std::istringstream iss(line);
+  std::string cpu;
+  iss >> cpu;  // "cpu"
+  unsigned long long v = 0;
+  unsigned long long fields[10] = {0};
+  int i = 0;
+  while (i < 10 && (iss >> v)) fields[i++] = v;
+  // fields: user nice system idle iowait irq softirq steal guest guest_nice
+  t.idle = fields[3] + fields[4];
+  for (int k = 0; k < 8; ++k) t.total += fields[k];
+  return t;
+}
+
+size_t ProcStatCpuMonitor::MeasureIdleCores() {
+  const CpuTimes a = ReadProcStat();
+  std::this_thread::sleep_for(std::chrono::duration<double>(interval_seconds_));
+  const CpuTimes b = ReadProcStat();
+  const unsigned long long total = b.total - a.total;
+  if (total == 0) return 0;
+  const double idle_fraction =
+      static_cast<double>(b.idle - a.idle) / static_cast<double>(total);
+  return static_cast<size_t>(idle_fraction * static_cast<double>(total_cores_) +
+                             0.5);
+}
+
+SlotCpuMonitor::SlotCpuMonitor(size_t total_cores, double interval_seconds)
+    : total_cores_(total_cores), interval_seconds_(interval_seconds) {}
+
+size_t SlotCpuMonitor::MeasureIdleCores() {
+  if (interval_seconds_ > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds_));
+  }
+  const size_t busy = busy_.load(std::memory_order_relaxed);
+  return busy >= total_cores_ ? 0 : total_cores_ - busy;
+}
+
+}  // namespace holix

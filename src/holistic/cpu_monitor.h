@@ -1,0 +1,98 @@
+/// \file cpu_monitor.h
+/// \brief CPU-utilization monitoring (§4.1/§4.2): how the holistic indexing
+/// thread learns that hardware contexts are idle.
+///
+/// Two implementations share one interface:
+///  * ProcStatCpuMonitor reads kernel statistics from /proc/stat over a
+///    measurement interval, exactly the paper's mechanism (it uses 1 s
+///    intervals; at laptop scale we default lower).
+///  * SlotCpuMonitor is a deterministic accounting monitor: query operators
+///    report the hardware contexts they occupy, and idle = total - busy.
+///    This reproduces the paper's "uXwYxZ" thread-budget experiments
+///    reliably and makes tests hermetic.
+
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+
+namespace holix {
+
+/// Abstract idle-core detector used by the tuning loop (Figure 2).
+class CpuMonitor {
+ public:
+  virtual ~CpuMonitor() = default;
+
+  /// Number of hardware contexts the monitor manages.
+  virtual size_t TotalCores() const = 0;
+
+  /// Performs one measurement (blocking for the monitor's interval, if it
+  /// has one) and returns the number of idle hardware contexts.
+  virtual size_t MeasureIdleCores() = 0;
+};
+
+/// Kernel-statistics monitor: compares /proc/stat snapshots across the
+/// measurement interval and reports idle contexts = idle_fraction * cores.
+class ProcStatCpuMonitor : public CpuMonitor {
+ public:
+  /// \param interval_seconds time between the two /proc/stat snapshots.
+  explicit ProcStatCpuMonitor(double interval_seconds = 1.0);
+
+  size_t TotalCores() const override { return total_cores_; }
+  size_t MeasureIdleCores() override;
+
+ private:
+  struct CpuTimes {
+    unsigned long long idle = 0;
+    unsigned long long total = 0;
+  };
+  static CpuTimes ReadProcStat();
+
+  double interval_seconds_;
+  size_t total_cores_;
+};
+
+/// Deterministic slot-accounting monitor. User-query execution acquires
+/// slots for the hardware contexts it uses; idle = total - busy.
+class SlotCpuMonitor : public CpuMonitor {
+ public:
+  /// \param total_cores       hardware contexts available to the system.
+  /// \param interval_seconds  optional sleep per measurement (0 = none),
+  ///                          modelling the paper's monitoring cadence.
+  explicit SlotCpuMonitor(size_t total_cores, double interval_seconds = 0.0);
+
+  size_t TotalCores() const override { return total_cores_; }
+  size_t MeasureIdleCores() override;
+
+  /// Marks \p n contexts busy (query admission).
+  void Acquire(size_t n) { busy_.fetch_add(n, std::memory_order_relaxed); }
+  /// Marks \p n contexts idle again (query completion).
+  void Release(size_t n) { busy_.fetch_sub(n, std::memory_order_relaxed); }
+
+  /// Currently busy contexts.
+  size_t Busy() const { return busy_.load(std::memory_order_relaxed); }
+
+ private:
+  size_t total_cores_;
+  double interval_seconds_;
+  std::atomic<size_t> busy_{0};
+};
+
+/// RAII slot acquisition on a SlotCpuMonitor (no-op when monitor is null).
+class SlotLease {
+ public:
+  SlotLease(SlotCpuMonitor* monitor, size_t n) : monitor_(monitor), n_(n) {
+    if (monitor_ != nullptr) monitor_->Acquire(n_);
+  }
+  ~SlotLease() {
+    if (monitor_ != nullptr) monitor_->Release(n_);
+  }
+  SlotLease(const SlotLease&) = delete;
+  SlotLease& operator=(const SlotLease&) = delete;
+
+ private:
+  SlotCpuMonitor* monitor_;
+  size_t n_;
+};
+
+}  // namespace holix

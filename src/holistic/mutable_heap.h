@@ -1,0 +1,133 @@
+/// \file mutable_heap.h
+/// \brief Addressable max-heap used by the statistics store.
+///
+/// The paper keeps "all information ... in a heap structure (one node per
+/// index)" so the highest-priority index can be picked cheaply while
+/// weights change after every refinement. This heap supports decrease/
+/// increase-key through stable handles.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace holix {
+
+/// Max-heap of (weight, payload) with O(log n) update-by-handle.
+/// Handles are dense indices assigned by Push and stay valid until Erase.
+template <typename Payload>
+class MutableMaxHeap {
+ public:
+  using Handle = size_t;
+  static constexpr Handle kInvalidHandle = static_cast<Handle>(-1);
+
+  /// Inserts (weight, payload); returns a stable handle.
+  Handle Push(double weight, Payload payload) {
+    Handle h;
+    if (!free_handles_.empty()) {
+      h = free_handles_.back();
+      free_handles_.pop_back();
+      nodes_[h] = {weight, std::move(payload), heap_.size()};
+    } else {
+      h = nodes_.size();
+      nodes_.push_back({weight, std::move(payload), heap_.size()});
+    }
+    heap_.push_back(h);
+    SiftUp(heap_.size() - 1);
+    return h;
+  }
+
+  /// Number of live entries.
+  size_t size() const { return heap_.size(); }
+  /// True when no entries are live.
+  bool empty() const { return heap_.empty(); }
+
+  /// Handle of the maximum-weight entry (heap must be non-empty).
+  Handle Top() const {
+    assert(!heap_.empty());
+    return heap_[0];
+  }
+
+  /// Weight of the entry behind \p h.
+  double WeightOf(Handle h) const { return nodes_[h].weight; }
+  /// Payload of the entry behind \p h.
+  const Payload& PayloadOf(Handle h) const { return nodes_[h].payload; }
+  /// Mutable payload of the entry behind \p h.
+  Payload& MutablePayloadOf(Handle h) { return nodes_[h].payload; }
+
+  /// Entry at heap slot \p i (0 <= i < size()); used for uniform sampling.
+  Handle AtSlot(size_t i) const { return heap_[i]; }
+
+  /// Changes the weight of \p h and restores the heap property.
+  void Update(Handle h, double weight) {
+    const double old = nodes_[h].weight;
+    nodes_[h].weight = weight;
+    if (weight > old) {
+      SiftUp(nodes_[h].slot);
+    } else if (weight < old) {
+      SiftDown(nodes_[h].slot);
+    }
+  }
+
+  /// Removes the entry behind \p h; the handle becomes invalid.
+  void Erase(Handle h) {
+    const size_t slot = nodes_[h].slot;
+    const Handle last = heap_.back();
+    heap_[slot] = last;
+    nodes_[last].slot = slot;
+    heap_.pop_back();
+    if (slot < heap_.size()) {
+      SiftUp(slot);
+      SiftDown(slot);
+    }
+    free_handles_.push_back(h);
+  }
+
+ private:
+  struct Node {
+    double weight;
+    Payload payload;
+    size_t slot;  // position in heap_
+  };
+
+  void Swap(size_t a, size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    nodes_[heap_[a]].slot = a;
+    nodes_[heap_[b]].slot = b;
+  }
+
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      const size_t parent = (i - 1) / 2;
+      if (nodes_[heap_[parent]].weight >= nodes_[heap_[i]].weight) break;
+      Swap(parent, i);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    for (;;) {
+      const size_t l = 2 * i + 1;
+      const size_t r = 2 * i + 2;
+      size_t best = i;
+      if (l < heap_.size() &&
+          nodes_[heap_[l]].weight > nodes_[heap_[best]].weight) {
+        best = l;
+      }
+      if (r < heap_.size() &&
+          nodes_[heap_[r]].weight > nodes_[heap_[best]].weight) {
+        best = r;
+      }
+      if (best == i) break;
+      Swap(best, i);
+      i = best;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<Handle> heap_;
+  std::vector<Handle> free_handles_;
+};
+
+}  // namespace holix

@@ -1,0 +1,38 @@
+/// \file pivot_policy.h
+/// \brief Worker pivot-selection policies (§4.2, "Index Refinement").
+///
+/// The paper discusses three ways a holistic worker could choose what to
+/// crack next and argues for random pivots: cracking the biggest piece
+/// "takes more work out of future queries" and cracking the smallest
+/// ("hot") piece sharpens frequently queried ranges, but both require
+/// scanning or maintaining piece-size information, while random pivots are
+/// maintenance-free and converge to a balanced index. We implement all
+/// three so the ablation benchmark can quantify that argument.
+
+#pragma once
+
+#include <cstdint>
+
+namespace holix {
+
+/// How a holistic worker picks the pivot of its next refinement.
+enum class PivotPolicy : uint8_t {
+  kRandom,         ///< Uniform random value in the attribute domain (paper's choice).
+  kBiggestPiece,   ///< Data-driven pivot inside the currently largest piece.
+  kSmallestPiece,  ///< Data-driven pivot inside the smallest still-crackable piece.
+};
+
+/// Printable name of a pivot policy.
+inline const char* PivotPolicyName(PivotPolicy p) {
+  switch (p) {
+    case PivotPolicy::kRandom:
+      return "random";
+    case PivotPolicy::kBiggestPiece:
+      return "biggest-piece";
+    case PivotPolicy::kSmallestPiece:
+      return "smallest-piece";
+  }
+  return "?";
+}
+
+}  // namespace holix

@@ -1,0 +1,61 @@
+/// \file strategy.h
+/// \brief Index decision strategies W1-W4 (§4.2, "Index Decision
+/// Strategies"): how a holistic worker picks which index to refine next.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "holistic/adaptive_index.h"
+#include "util/rng.h"
+
+namespace holix {
+
+/// Which weight function ranks the candidate indices.
+enum class Strategy : uint8_t {
+  kW1,  ///< W_I = d(I, I_opt): prioritize large partitions.
+  kW2,  ///< W_I = f_I * d: large partitions that are also hot.
+  kW3,  ///< W_I = (f_I - f_Ih) * d: hot, large, and low hit rate.
+  kW4,  ///< Random choice (the paper's robust recommendation).
+};
+
+/// Printable name of a strategy.
+inline const char* StrategyName(Strategy s) {
+  switch (s) {
+    case Strategy::kW1:
+      return "W1";
+    case Strategy::kW2:
+      return "W2";
+    case Strategy::kW3:
+      return "W3";
+    case Strategy::kW4:
+      return "W4";
+  }
+  return "?";
+}
+
+/// Computes the priority weight of \p index under \p strategy. For kW4 the
+/// weight is irrelevant (selection is uniform); we return d so the optimal
+/// transition (weight == 0) still works.
+inline double ComputeWeight(const AdaptiveIndex& index, Strategy strategy) {
+  const double d = index.DistanceToOptimal();
+  switch (strategy) {
+    case Strategy::kW1:
+    case Strategy::kW4:
+      return d;
+    case Strategy::kW2:
+      return static_cast<double>(
+                 index.stats().accesses.load(std::memory_order_relaxed)) *
+             d;
+    case Strategy::kW3: {
+      const auto f = index.stats().accesses.load(std::memory_order_relaxed);
+      const auto fh =
+          index.stats().exact_hits.load(std::memory_order_relaxed);
+      return static_cast<double>(f >= fh ? f - fh : 0) * d;
+    }
+  }
+  return d;
+}
+
+}  // namespace holix

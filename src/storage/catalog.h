@@ -1,0 +1,63 @@
+/// \file catalog.h
+/// \brief The schema catalog: all tables known to the engine.
+
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace holix {
+
+/// Owns every table in the database.
+class Catalog {
+ public:
+  /// Creates (or returns the existing) table named \p name.
+  Table& CreateTable(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return *it->second;
+    auto table = std::make_unique<Table>(name);
+    Table* raw = table.get();
+    tables_.emplace(name, std::move(table));
+    return *raw;
+  }
+
+  /// True when a table named \p name exists.
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) != 0;
+  }
+
+  /// Looks up a table; throws std::out_of_range when absent.
+  Table& GetTable(const std::string& name) {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) throw std::out_of_range("no table " + name);
+    return *it->second;
+  }
+
+  /// Const lookup; throws std::out_of_range when absent.
+  const Table& GetTable(const std::string& name) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) throw std::out_of_range("no table " + name);
+    return *it->second;
+  }
+
+  /// Drops the table named \p name (no-op when absent).
+  void DropTable(const std::string& name) { tables_.erase(name); }
+
+  /// Names of all tables (unordered).
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace holix

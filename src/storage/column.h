@@ -1,0 +1,84 @@
+/// \file column.h
+/// \brief Dense, fixed-width, in-memory columns (Decomposition Storage
+/// Model, §3.1 of the paper).
+///
+/// Every relational table is vertically fragmented into one Column per
+/// attribute; the i-th value of every column belongs to tuple i, which is
+/// what makes late, positional tuple reconstruction cheap.
+
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace holix {
+
+/// Type-erased base class so tables can hold heterogeneous columns.
+class ColumnBase {
+ public:
+  explicit ColumnBase(std::string name, ValueType type)
+      : name_(std::move(name)), type_(type) {}
+  virtual ~ColumnBase() = default;
+
+  /// Attribute name.
+  const std::string& name() const { return name_; }
+  /// Value type tag.
+  ValueType type() const { return type_; }
+  /// Number of tuples.
+  virtual size_t size() const = 0;
+  /// Bytes of payload data.
+  virtual size_t SizeBytes() const = 0;
+
+ private:
+  std::string name_;
+  ValueType type_;
+};
+
+/// A typed dense array column.
+template <typename T>
+class Column : public ColumnBase {
+ public:
+  /// Creates an empty column named \p name.
+  explicit Column(std::string name)
+      : ColumnBase(std::move(name), ValueTypeOf<T>::value) {}
+
+  /// Creates a column from existing data.
+  Column(std::string name, std::vector<T> data)
+      : ColumnBase(std::move(name), ValueTypeOf<T>::value),
+        data_(std::move(data)) {}
+
+  size_t size() const override { return data_.size(); }
+  size_t SizeBytes() const override { return data_.size() * sizeof(T); }
+
+  /// Value of tuple \p row.
+  T operator[](RowId row) const {
+    assert(row < data_.size());
+    return data_[row];
+  }
+
+  /// Appends \p value as a new tuple.
+  void Append(T value) { data_.push_back(value); }
+
+  /// Raw read-only data pointer (for tight scan loops).
+  const T* data() const { return data_.data(); }
+  /// Raw mutable data pointer.
+  T* mutable_data() { return data_.data(); }
+  /// Read-only vector view.
+  const std::vector<T>& values() const { return data_; }
+  /// Mutable vector (loading/bulk operations).
+  std::vector<T>& mutable_values() { return data_; }
+
+ private:
+  std::vector<T> data_;
+};
+
+using Int32Column = Column<int32_t>;
+using Int64Column = Column<int64_t>;
+using DoubleColumn = Column<double>;
+
+}  // namespace holix

@@ -1,0 +1,83 @@
+/// \file pending_updates.h
+/// \brief Pending insertion/deletion queues for cracked columns (§4.2,
+/// "Updates"; Ripple algorithm of [28]).
+///
+/// Updates against a cracked column are not applied eagerly. Inserts are
+/// parked in a pending-insertions column, deletes in a pending-deletions
+/// column; an update is a delete followed by an insert. Values are merged
+/// into the cracker column on demand: by a user query whose range covers
+/// them, or by a holistic worker whose random pivot lands in their piece.
+
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace holix {
+
+/// Thread-safe pending-update store for one attribute.
+template <typename T>
+class PendingUpdates {
+ public:
+  /// Parks an insertion of (value, rowid).
+  void AddInsert(T value, RowId rowid) {
+    std::lock_guard<std::mutex> lk(mu_);
+    inserts_.push_back({value, rowid});
+  }
+
+  /// Parks a deletion of (value, rowid).
+  void AddDelete(T value, RowId rowid) {
+    std::lock_guard<std::mutex> lk(mu_);
+    deletes_.push_back({value, rowid});
+  }
+
+  /// Extracts (removes and returns) every pending insert whose value lies
+  /// in [low, high).
+  std::vector<std::pair<T, RowId>> TakeInsertsInRange(T low, T high) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return TakeRangeLocked(inserts_, low, high);
+  }
+
+  /// Extracts every pending delete whose value lies in [low, high).
+  std::vector<std::pair<T, RowId>> TakeDeletesInRange(T low, T high) {
+    std::lock_guard<std::mutex> lk(mu_);
+    return TakeRangeLocked(deletes_, low, high);
+  }
+
+  /// Number of pending insertions.
+  size_t PendingInserts() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return inserts_.size();
+  }
+
+  /// Number of pending deletions.
+  size_t PendingDeletes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return deletes_.size();
+  }
+
+ private:
+  static std::vector<std::pair<T, RowId>> TakeRangeLocked(
+      std::vector<std::pair<T, RowId>>& queue, T low, T high) {
+    std::vector<std::pair<T, RowId>> taken;
+    auto keep_end = std::remove_if(
+        queue.begin(), queue.end(), [&](const std::pair<T, RowId>& p) {
+          if (p.first >= low && p.first < high) {
+            taken.push_back(p);
+            return true;
+          }
+          return false;
+        });
+    queue.erase(keep_end, queue.end());
+    return taken;
+  }
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<T, RowId>> inserts_;
+  std::vector<std::pair<T, RowId>> deletes_;
+};
+
+}  // namespace holix

@@ -1,0 +1,30 @@
+/// \file position_list.h
+/// \brief Intermediate results of select operators: lists of qualifying
+/// row identifiers, plus contiguous position ranges for cracked columns.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace holix {
+
+/// A materialized list of qualifying row ids (column-store intermediate).
+using PositionList = std::vector<RowId>;
+
+/// A half-open contiguous range of positions [begin, end) inside a cracker
+/// column. Cracked selects return ranges instead of materialized lists;
+/// the project operator then reads rowids out of the cracker column.
+struct PositionRange {
+  size_t begin = 0;
+  size_t end = 0;
+
+  /// Number of positions covered.
+  size_t size() const { return end - begin; }
+  /// True when the range is empty.
+  bool empty() const { return end <= begin; }
+};
+
+}  // namespace holix

@@ -1,0 +1,111 @@
+/// \file table.h
+/// \brief Vertically fragmented tables: a named collection of equally long
+/// columns (§3.1).
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/column.h"
+
+namespace holix {
+
+/// A relational table stored one column at a time.
+class Table {
+ public:
+  /// Creates an empty table named \p name.
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  /// Table name.
+  const std::string& name() const { return name_; }
+
+  /// Number of tuples (0 when no columns exist).
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_.front()->size();
+  }
+
+  /// Number of attributes.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Adds \p column; its length must match existing columns.
+  /// \return reference to the stored column.
+  template <typename T>
+  Column<T>& AddColumn(std::unique_ptr<Column<T>> column) {
+    if (!columns_.empty() && column->size() != num_rows()) {
+      throw std::invalid_argument("column length mismatch in table " + name_);
+    }
+    if (by_name_.count(column->name()) != 0) {
+      throw std::invalid_argument("duplicate column " + column->name());
+    }
+    Column<T>* raw = column.get();
+    by_name_[column->name()] = columns_.size();
+    columns_.push_back(std::move(column));
+    return *raw;
+  }
+
+  /// Convenience: builds and adds a column from a vector.
+  template <typename T>
+  Column<T>& AddColumn(const std::string& column_name, std::vector<T> data) {
+    return AddColumn(
+        std::make_unique<Column<T>>(column_name, std::move(data)));
+  }
+
+  /// True if an attribute named \p column_name exists.
+  bool HasColumn(const std::string& column_name) const {
+    return by_name_.count(column_name) != 0;
+  }
+
+  /// Looks up a column by name; throws std::out_of_range if missing or if
+  /// the stored type differs from T.
+  template <typename T>
+  const Column<T>& GetColumn(const std::string& column_name) const {
+    const auto it = by_name_.find(column_name);
+    if (it == by_name_.end()) {
+      throw std::out_of_range("no column " + column_name + " in " + name_);
+    }
+    const auto* typed = dynamic_cast<const Column<T>*>(
+        columns_[it->second].get());
+    if (typed == nullptr) {
+      throw std::out_of_range("column " + column_name + " has type " +
+                              ValueTypeName(columns_[it->second]->type()));
+    }
+    return *typed;
+  }
+
+  /// Mutable variant of GetColumn.
+  template <typename T>
+  Column<T>& GetMutableColumn(const std::string& column_name) {
+    return const_cast<Column<T>&>(
+        static_cast<const Table*>(this)->GetColumn<T>(column_name));
+  }
+
+  /// Type-erased access by index (iteration, catalogs).
+  const ColumnBase& column(size_t idx) const { return *columns_[idx]; }
+
+  /// Names of all attributes in storage order.
+  std::vector<std::string> ColumnNames() const {
+    std::vector<std::string> names;
+    names.reserve(columns_.size());
+    for (const auto& c : columns_) names.push_back(c->name());
+    return names;
+  }
+
+  /// Total bytes across all columns.
+  size_t SizeBytes() const {
+    size_t total = 0;
+    for (const auto& c : columns_) total += c->SizeBytes();
+    return total;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<ColumnBase>> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace holix

@@ -1,0 +1,63 @@
+/// \file types.h
+/// \brief Fundamental value and position types of the column-store.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace holix {
+
+/// Row identifier (position of a tuple within its table). Dense, 0-based.
+using RowId = uint64_t;
+
+/// The value types the engine supports in columns.
+enum class ValueType : uint8_t {
+  kInt32,
+  kInt64,
+  kDouble,
+};
+
+/// Human-readable name of a ValueType.
+inline const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+      return "int32";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+  }
+  return "?";
+}
+
+/// Size in bytes of one value of type \p t.
+inline size_t ValueTypeSize(ValueType t) {
+  switch (t) {
+    case ValueType::kInt32:
+      return 4;
+    case ValueType::kInt64:
+      return 8;
+    case ValueType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+/// Maps a C++ type to its ValueType tag.
+template <typename T>
+struct ValueTypeOf;
+template <>
+struct ValueTypeOf<int32_t> {
+  static constexpr ValueType value = ValueType::kInt32;
+};
+template <>
+struct ValueTypeOf<int64_t> {
+  static constexpr ValueType value = ValueType::kInt64;
+};
+template <>
+struct ValueTypeOf<double> {
+  static constexpr ValueType value = ValueType::kDouble;
+};
+
+}  // namespace holix

@@ -1,0 +1,56 @@
+/// \file tpch_data.h
+/// \brief In-process TPC-H data generation for the §5.6 experiments.
+///
+/// The paper runs TPC-H SF-10 Queries 1, 6 and 12 against MonetDB. We
+/// generate LINEITEM and ORDERS with the TPC-H value domains that those
+/// queries touch (dates as days since 1992-01-01, prices in cents,
+/// discounts/taxes in percent), so the three queries exercise the same
+/// selection/aggregation/join code paths. dbgen text loading is replaced
+/// by direct in-memory generation — a documented substitution (DESIGN.md).
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace holix {
+
+/// Days between 1992-01-01 and 1998-12-31 (the TPC-H date range).
+inline constexpr int64_t kTpchDateMax = 2557;
+
+/// TPC-H shipmodes (REG AIR, AIR, RAIL, SHIP, TRUCK, MAIL, FOB).
+inline constexpr int64_t kTpchNumShipModes = 7;
+
+/// Generated TPC-H tables, decomposed into dense int64 columns.
+struct TpchData {
+  // --- LINEITEM ---
+  std::vector<int64_t> l_orderkey;       ///< 1-based key into ORDERS.
+  std::vector<int64_t> l_quantity;       ///< 1..50.
+  std::vector<int64_t> l_extendedprice;  ///< cents.
+  std::vector<int64_t> l_discount;       ///< percent, 0..10.
+  std::vector<int64_t> l_tax;            ///< percent, 0..8.
+  std::vector<int64_t> l_returnflag;     ///< 0=A, 1=N, 2=R.
+  std::vector<int64_t> l_linestatus;     ///< 0=O, 1=F.
+  std::vector<int64_t> l_shipdate;       ///< days since 1992-01-01.
+  std::vector<int64_t> l_commitdate;     ///< days since 1992-01-01.
+  std::vector<int64_t> l_receiptdate;    ///< days since 1992-01-01.
+  std::vector<int64_t> l_shipmode;       ///< 0..6.
+
+  // --- ORDERS (indexed by orderkey - 1) ---
+  std::vector<int64_t> o_orderdate;      ///< days since 1992-01-01.
+  std::vector<int64_t> o_orderpriority;  ///< 0=1-URGENT .. 4=5-LOW.
+
+  /// Number of LINEITEM rows.
+  size_t NumLineitems() const { return l_orderkey.size(); }
+  /// Number of ORDERS rows.
+  size_t NumOrders() const { return o_orderdate.size(); }
+
+  /// Generates tables at \p scale_factor (SF 1 = 1.5M orders / ~6M
+  /// lineitems; fractional SFs scale linearly).
+  static TpchData Generate(double scale_factor, uint64_t seed = 19920101);
+};
+
+}  // namespace holix

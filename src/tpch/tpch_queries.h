@@ -1,0 +1,138 @@
+/// \file tpch_queries.h
+/// \brief TPC-H Q1 / Q6 / Q12 executors over the four systems of Fig. 14:
+/// plain scans ("MonetDB"), pre-sorted projections ("Presorted MonetDB"),
+/// sideways-style cracking, and cracking + holistic workers.
+///
+/// All executors return bit-identical results (integer arithmetic in
+/// cents/percent), which the tests rely on.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "holistic/adaptive_index.h"
+#include "tpch/tpch_data.h"
+#include "util/rng.h"
+
+namespace holix {
+
+/// Q1: aggregates over lineitem where l_shipdate <= cutoff, grouped by
+/// (returnflag, linestatus) — 6 populated groups.
+struct Q1Params {
+  int64_t ship_cutoff = kTpchDateMax - 90;
+};
+
+/// Aggregate row of one Q1 group. Charges use exact integer units:
+/// disc_price in cent-percent (x100), charge in cent-percent^2 (x10000).
+struct Q1Result {
+  static constexpr size_t kGroups = 6;  // returnflag(3) x linestatus(2)
+  std::array<int64_t, kGroups> sum_qty{};
+  std::array<int64_t, kGroups> sum_base_price{};
+  std::array<int64_t, kGroups> sum_disc_price{};
+  std::array<int64_t, kGroups> sum_charge{};
+  std::array<int64_t, kGroups> count{};
+
+  bool operator==(const Q1Result&) const = default;
+};
+
+/// Q6: forecast revenue change.
+struct Q6Params {
+  int64_t date_lo = 365;      ///< shipdate in [date_lo, date_lo + 365).
+  int64_t discount_lo = 5;    ///< discount between lo and hi inclusive.
+  int64_t discount_hi = 7;
+  int64_t max_quantity = 24;  ///< quantity < max_quantity.
+};
+
+/// Q6 revenue in cent-percent units (sum extendedprice * discount).
+struct Q6Result {
+  int64_t revenue = 0;
+  bool operator==(const Q6Result&) const = default;
+};
+
+/// Q12: shipping modes and order priority.
+struct Q12Params {
+  int64_t date_lo = 365;  ///< receiptdate in [date_lo, date_lo + 365).
+  int64_t mode1 = 3;      ///< SHIP
+  int64_t mode2 = 5;      ///< MAIL
+};
+
+/// Q12 counts: high/low line counts per queried shipmode.
+struct Q12Result {
+  std::array<int64_t, 2> high_line_count{};
+  std::array<int64_t, 2> low_line_count{};
+  bool operator==(const Q12Result&) const = default;
+};
+
+/// Draws randomized parameter variants, mirroring the benchmark's qgen
+/// substitutions (30 variations per query type in §5.6).
+Q1Params RandomQ1Params(Rng& rng);
+Q6Params RandomQ6Params(Rng& rng);
+Q12Params RandomQ12Params(Rng& rng);
+
+/// Full-scan executor (plain MonetDB in Fig. 14).
+class TpchScanExecutor {
+ public:
+  explicit TpchScanExecutor(const TpchData& data) : d_(data) {}
+
+  Q1Result Q1(const Q1Params& p) const;
+  Q6Result Q6(const Q6Params& p) const;
+  Q12Result Q12(const Q12Params& p) const;
+
+ private:
+  const TpchData& d_;
+};
+
+/// Pre-sorted projection executor ("Presorted MonetDB"): LINEITEM copies
+/// sorted on l_shipdate (Q1/Q6) and l_receiptdate (Q12), built at
+/// construction — the offline cost Fig. 14 excludes from the curves but
+/// reports in the caption.
+class TpchPresortedExecutor {
+ public:
+  explicit TpchPresortedExecutor(const TpchData& data);
+
+  Q1Result Q1(const Q1Params& p) const;
+  Q6Result Q6(const Q6Params& p) const;
+  Q12Result Q12(const Q12Params& p) const;
+
+ private:
+  struct Projection {
+    // Column order matches TpchData member names below.
+    std::vector<int64_t> sortkey;
+    std::vector<uint32_t> perm;  ///< row index into the base table.
+  };
+  const TpchData& d_;
+  Projection by_shipdate_;
+  Projection by_receiptdate_;
+};
+
+/// Cracking executor (sideways-style): two cracker columns with aligned
+/// payloads — on l_shipdate for Q1/Q6 and on l_receiptdate for Q12. With
+/// `holistic` = true the caller can register the exposed adapters with a
+/// HolisticEngine so workers refine them between queries.
+class TpchCrackedExecutor {
+ public:
+  explicit TpchCrackedExecutor(const TpchData& data);
+
+  Q1Result Q1(const Q1Params& p);
+  Q6Result Q6(const Q6Params& p);
+  Q12Result Q12(const Q12Params& p);
+
+  /// Adaptive-index adapters for holistic registration.
+  std::shared_ptr<AdaptiveIndex> ShipdateIndex();
+  std::shared_ptr<AdaptiveIndex> ReceiptdateIndex();
+
+ private:
+  // Payload slot order inside each cracker column.
+  enum ShipPayload { kQty = 0, kPrice, kDisc, kTax, kRetFlag, kLineStatus };
+  enum ReceiptPayload { kMode = 0, kCommit, kShip, kOrderKey };
+
+  const TpchData& d_;
+  std::shared_ptr<CrackerColumn<int64_t>> by_shipdate_;
+  std::shared_ptr<CrackerColumn<int64_t>> by_receiptdate_;
+};
+
+}  // namespace holix

@@ -1,0 +1,59 @@
+#include "util/cache_info.h"
+
+#include <atomic>
+#include <fstream>
+#include <string>
+
+namespace holix {
+
+namespace {
+
+std::atomic<size_t> g_override{0};
+
+size_t DetectL1() {
+  // sysfs exposes per-cpu cache indices; index0 or index1 is the L1D.
+  for (int index = 0; index < 4; ++index) {
+    const std::string base =
+        "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
+    std::ifstream level_f(base + "/level");
+    std::ifstream type_f(base + "/type");
+    int level = 0;
+    std::string type;
+    if (!(level_f >> level) || !(type_f >> type)) continue;
+    if (level != 1 || (type != "Data" && type != "Unified")) continue;
+    std::ifstream size_f(base + "/size");
+    std::string size_str;
+    if (!(size_f >> size_str)) continue;
+    size_t multiplier = 1;
+    if (!size_str.empty() && (size_str.back() == 'K' || size_str.back() == 'k')) {
+      multiplier = 1024;
+      size_str.pop_back();
+    } else if (!size_str.empty() &&
+               (size_str.back() == 'M' || size_str.back() == 'm')) {
+      multiplier = 1024 * 1024;
+      size_str.pop_back();
+    }
+    try {
+      const size_t value = std::stoull(size_str);
+      if (value > 0) return value * multiplier;
+    } catch (...) {
+      continue;
+    }
+  }
+  return 32 * 1024;  // Conservative default: 32 KiB.
+}
+
+}  // namespace
+
+size_t L1DataCacheBytes() {
+  const size_t forced = g_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const size_t detected = DetectL1();
+  return detected;
+}
+
+void OverrideL1DataCacheBytes(size_t bytes) {
+  g_override.store(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace holix

@@ -1,0 +1,40 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace holix {
+
+double EnvDouble(const char* name, double def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return def;
+  try {
+    return std::stod(raw);
+  } catch (...) {
+    return def;
+  }
+}
+
+int64_t EnvInt(const char* name, int64_t def) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return def;
+  try {
+    return std::stoll(raw);
+  } catch (...) {
+    return def;
+  }
+}
+
+size_t ScaledSize(size_t base, size_t min_value) {
+  const double scale = EnvDouble("HOLIX_SCALE", 1.0);
+  const double scaled = static_cast<double>(base) * scale;
+  return std::max(min_value, static_cast<size_t>(scaled));
+}
+
+size_t QueryCount(size_t base) {
+  const int64_t q = EnvInt("HOLIX_QUERIES", -1);
+  return q > 0 ? static_cast<size_t>(q) : base;
+}
+
+}  // namespace holix

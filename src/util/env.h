@@ -1,0 +1,29 @@
+/// \file env.h
+/// \brief Environment-variable knobs shared by benchmarks and examples.
+///
+/// `HOLIX_SCALE` multiplies column cardinalities (default 1.0) and
+/// `HOLIX_QUERIES` overrides workload query counts, so the same binaries
+/// can run a quick smoke pass or a paper-scale experiment.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace holix {
+
+/// Reads a double-valued environment variable, returning \p def if unset or
+/// unparsable.
+double EnvDouble(const char* name, double def);
+
+/// Reads an integer environment variable, returning \p def if unset or
+/// unparsable.
+int64_t EnvInt(const char* name, int64_t def);
+
+/// `base * HOLIX_SCALE`, at least \p min_value.
+size_t ScaledSize(size_t base, size_t min_value = 1024);
+
+/// `HOLIX_QUERIES` if set, else \p base.
+size_t QueryCount(size_t base);
+
+}  // namespace holix

@@ -1,0 +1,125 @@
+/// \file latch.h
+/// \brief Lightweight latches for piece-level concurrency control (§4.2).
+///
+/// Adaptive/holistic index refinement only rearranges values inside a single
+/// piece of a cracker column, so following [16,17] it suffices to guard each
+/// piece with a small reader/writer latch. User queries *block* on a piece
+/// latch; holistic workers *try* it and pick another pivot on failure
+/// (Figure 3 in the paper), which is why TryLockWrite is first-class here.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace holix {
+
+/// Reader/writer spin latch. Writers are exclusive; readers are shared.
+///
+/// The implementation is a single atomic word: kWriteBit marks an active
+/// writer, the remaining bits count readers. Spinning is appropriate because
+/// critical sections (cracking one piece) last microseconds to a few
+/// milliseconds and threads never hold a latch across blocking operations.
+class RwSpinLatch {
+ public:
+  RwSpinLatch() = default;
+  RwSpinLatch(const RwSpinLatch&) = delete;
+  RwSpinLatch& operator=(const RwSpinLatch&) = delete;
+
+  /// Acquires the latch in shared (read) mode, spinning until available.
+  void LockRead() {
+    for (int spins = 0;; ++spins) {
+      uint32_t cur = word_.load(std::memory_order_relaxed);
+      if (!(cur & kWriteBit) &&
+          word_.compare_exchange_weak(cur, cur + 1,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(spins);
+    }
+  }
+
+  /// Releases a shared acquisition.
+  void UnlockRead() { word_.fetch_sub(1, std::memory_order_release); }
+
+  /// Acquires the latch in exclusive (write) mode, spinning until available.
+  void LockWrite() {
+    for (int spins = 0;; ++spins) {
+      uint32_t expected = 0;
+      if (word_.compare_exchange_weak(expected, kWriteBit,
+                                      std::memory_order_acquire,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      Backoff(spins);
+    }
+  }
+
+  /// Attempts to acquire exclusive mode without blocking.
+  /// \return true on success.
+  bool TryLockWrite() {
+    uint32_t expected = 0;
+    return word_.compare_exchange_strong(expected, kWriteBit,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+  }
+
+  /// Releases an exclusive acquisition.
+  void UnlockWrite() { word_.store(0, std::memory_order_release); }
+
+  /// True if a writer currently holds the latch (racy; diagnostics only).
+  bool IsWriteLocked() const {
+    return word_.load(std::memory_order_relaxed) & kWriteBit;
+  }
+
+ private:
+  static constexpr uint32_t kWriteBit = 0x80000000u;
+
+  static void Backoff(int spins) {
+    if (spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+      __builtin_ia32_pause();
+#endif
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  std::atomic<uint32_t> word_{0};
+};
+
+/// RAII shared guard for RwSpinLatch.
+class ReadGuard {
+ public:
+  explicit ReadGuard(RwSpinLatch& latch) : latch_(&latch) {
+    latch_->LockRead();
+  }
+  ~ReadGuard() {
+    if (latch_ != nullptr) latch_->UnlockRead();
+  }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+ private:
+  RwSpinLatch* latch_;
+};
+
+/// RAII exclusive guard for RwSpinLatch.
+class WriteGuard {
+ public:
+  explicit WriteGuard(RwSpinLatch& latch) : latch_(&latch) {
+    latch_->LockWrite();
+  }
+  ~WriteGuard() {
+    if (latch_ != nullptr) latch_->UnlockWrite();
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+ private:
+  RwSpinLatch* latch_;
+};
+
+}  // namespace holix

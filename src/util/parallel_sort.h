@@ -1,0 +1,72 @@
+/// \file parallel_sort.h
+/// \brief Multi-threaded merge sort.
+///
+/// Offline and online indexing (§5.1) sort whole columns with a highly
+/// parallel sort; the paper uses the NUMA-aware m-way sort of Balkesen et
+/// al. [9]. We implement a chunked parallel merge sort: split into P runs,
+/// std::sort each run in parallel, then merge pairs of runs in parallel
+/// until one run remains. This preserves the baseline's character (sorting
+/// scales with cores) without the NUMA machinery the paper's testbed needed.
+
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace holix {
+
+/// Sorts [data, data+n) with \p comp using up to pool.size() threads.
+template <typename T, typename Compare = std::less<T>>
+void ParallelSort(T* data, size_t n, ThreadPool& pool, Compare comp = {}) {
+  const size_t threads = pool.size();
+  if (n < (1u << 14) || threads <= 1) {
+    std::sort(data, data + n, comp);
+    return;
+  }
+  // Round run count down to a power of two so merging forms a clean tree.
+  size_t runs = 1;
+  while (runs * 2 <= threads) runs *= 2;
+  const size_t chunk = (n + runs - 1) / runs;
+
+  std::vector<std::pair<size_t, size_t>> bounds;
+  bounds.reserve(runs);
+  for (size_t r = 0; r < runs; ++r) {
+    const size_t lo = std::min(n, r * chunk);
+    const size_t hi = std::min(n, lo + chunk);
+    bounds.emplace_back(lo, hi);
+  }
+  pool.ParallelFor(0, runs, [&](size_t r) {
+    std::sort(data + bounds[r].first, data + bounds[r].second, comp);
+  });
+
+  // Merge adjacent runs level by level using a scratch buffer.
+  std::vector<T> scratch(n);
+  T* src = data;
+  T* dst = scratch.data();
+  size_t width = 1;
+  while (width < runs) {
+    pool.ParallelFor(0, runs / (2 * width), [&](size_t pair_idx) {
+      const size_t first = pair_idx * 2 * width;
+      const size_t lo = bounds[first].first;
+      const size_t mid = bounds[first + width].first;
+      const size_t hi = bounds[std::min(runs - 1, first + 2 * width - 1)].second;
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, comp);
+    });
+    std::swap(src, dst);
+    width *= 2;
+  }
+  if (src != data) {
+    std::copy(src, src + n, data);
+  }
+}
+
+/// Convenience overload for vectors.
+template <typename T, typename Compare = std::less<T>>
+void ParallelSort(std::vector<T>& v, ThreadPool& pool, Compare comp = {}) {
+  ParallelSort(v.data(), v.size(), pool, comp);
+}
+
+}  // namespace holix

@@ -1,0 +1,92 @@
+/// \file rng.h
+/// \brief Deterministic pseudo-random number generation for holix.
+///
+/// All randomized components of the library (workload generators, random
+/// pivot selection in holistic workers, strategy W4) draw from this RNG so
+/// that experiments are reproducible given a seed.
+
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace holix {
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 64-bit state PRNG.
+/// Deterministic across platforms; not cryptographically secure.
+class Rng {
+ public:
+  /// Seeds the generator with SplitMix64 expansion of \p seed.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step: guarantees non-zero, well-mixed state.
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). \p bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    // Lemire's multiply-shift rejection method: unbiased.
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  result_type operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace holix

@@ -1,0 +1,74 @@
+/// \file stats.h
+/// \brief Summary statistics used when reporting experiment results.
+
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace holix {
+
+/// Accumulates samples and reports mean / percentiles / extrema.
+class SampleStats {
+ public:
+  /// Adds one observation.
+  void Add(double v) { samples_.push_back(v); }
+
+  /// Number of observations.
+  size_t count() const { return samples_.size(); }
+
+  /// Sum of all observations (0 when empty).
+  double Sum() const {
+    double s = 0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+
+  /// Arithmetic mean (0 when empty).
+  double Mean() const { return samples_.empty() ? 0.0 : Sum() / count(); }
+
+  /// Population standard deviation (0 when fewer than 2 samples).
+  double Stddev() const {
+    if (samples_.size() < 2) return 0.0;
+    const double m = Mean();
+    double acc = 0;
+    for (double v : samples_) acc += (v - m) * (v - m);
+    return std::sqrt(acc / samples_.size());
+  }
+
+  /// Smallest observation (0 when empty).
+  double Min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+
+  /// Largest observation (0 when empty).
+  double Max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// p-th percentile with linear interpolation, p in [0,100].
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * (sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - lo;
+    return sorted[lo] * (1 - frac) + sorted[hi] * frac;
+  }
+
+  /// Access to the raw samples in insertion order.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace holix

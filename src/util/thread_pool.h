@@ -1,0 +1,138 @@
+/// \file thread_pool.h
+/// \brief Fixed-size thread pool used for parallel query operators,
+/// parallel cracking, parallel sorting and holistic worker teams.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace holix {
+
+/// A minimal fixed-size thread pool.
+///
+/// Tasks are `std::function<void()>`; Submit never blocks. The pool supports
+/// two idioms used throughout holix:
+///  * fire-and-forget Submit + WaitIdle (holistic workers),
+///  * ParallelFor over an index range with static partitioning (operators).
+class ThreadPool {
+ public:
+  /// Starts \p num_threads workers (at least 1).
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    threads_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues \p task for asynchronous execution.
+  void Submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished executing.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return pending_ == 0; });
+  }
+
+  /// Runs \p body(i) for every i in [begin, end) using static partitioning
+  /// across the pool, and blocks until all iterations are done. The calling
+  /// thread executes one shard itself. Safe to call from multiple client
+  /// threads concurrently: completion is tracked per call, not pool-wide.
+  void ParallelFor(size_t begin, size_t end,
+                   const std::function<void(size_t)>& body) {
+    const size_t n = end - begin;
+    if (n == 0) return;
+    const size_t shards = std::min(n, threads_.size() + 1);
+    if (shards <= 1) {
+      for (size_t i = begin; i < end; ++i) body(i);
+      return;
+    }
+    const size_t chunk = (n + shards - 1) / shards;
+    struct Completion {
+      std::mutex mu;
+      std::condition_variable cv;
+      size_t remaining;
+    };
+    auto done = std::make_shared<Completion>();
+    size_t submitted = 0;
+    for (size_t s = 1; s < shards; ++s) {
+      const size_t lo = begin + s * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) continue;
+      ++submitted;
+    }
+    done->remaining = submitted;
+    for (size_t s = 1; s < shards; ++s) {
+      const size_t lo = begin + s * chunk;
+      const size_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) continue;
+      Submit([lo, hi, &body, done] {
+        for (size_t i = lo; i < hi; ++i) body(i);
+        std::unique_lock<std::mutex> lk(done->mu);
+        if (--done->remaining == 0) done->cv.notify_all();
+      });
+    }
+    // The caller runs shard 0 itself to avoid idling.
+    const size_t hi0 = std::min(end, begin + chunk);
+    for (size_t i = begin; i < hi0; ++i) body(i);
+    std::unique_lock<std::mutex> lk(done->mu);
+    done->cv.wait(lk, [&] { return done->remaining == 0; });
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace holix

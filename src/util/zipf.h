@@ -1,0 +1,54 @@
+/// \file zipf.h
+/// \brief Zipf-distributed sampling used by the skewed workloads (§5.3/§5.4).
+
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace holix {
+
+/// Samples ranks in [0, n) with probability proportional to 1/(rank+1)^theta.
+///
+/// Uses a precomputed CDF with binary search; construction is O(n), sampling
+/// O(log n). Intended for modest n (attribute counts, bucket counts), not
+/// for sampling the full value domain.
+class ZipfGenerator {
+ public:
+  /// \param n      number of distinct ranks.
+  /// \param theta  skew parameter; 0 is uniform, larger is more skewed.
+  ZipfGenerator(size_t n, double theta) : cdf_(n) {
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (auto& c : cdf_) c /= sum;
+  }
+
+  /// Number of distinct ranks.
+  size_t size() const { return cdf_.size(); }
+
+  /// Draws one rank using \p rng.
+  size_t Sample(Rng& rng) const {
+    const double u = rng.NextDouble();
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace holix

@@ -1,0 +1,158 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace holix {
+
+const char* QueryPatternName(QueryPattern p) {
+  switch (p) {
+    case QueryPattern::kRandom:
+      return "Random";
+    case QueryPattern::kSkewed:
+      return "Skewed";
+    case QueryPattern::kPeriodic:
+      return "Periodic";
+    case QueryPattern::kSequential:
+      return "Sequential";
+    case QueryPattern::kSkyServer:
+      return "SkyServer";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Predicate position for query i under the given pattern, in [0, domain).
+int64_t PatternPosition(QueryPattern pattern, size_t i, size_t n,
+                        int64_t domain, Rng& rng, int64_t* sky_center,
+                        size_t* sky_remaining) {
+  switch (pattern) {
+    case QueryPattern::kRandom:
+      return static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)));
+    case QueryPattern::kSkewed: {
+      // Fig. 10(b): predicates concentrate in the top fifth of the domain
+      // (the paper's example queries 800M..2^30 of a 2^30 domain).
+      const int64_t base = domain - domain / 5;
+      return base + static_cast<int64_t>(
+                        rng.Below(static_cast<uint64_t>(domain / 5)));
+    }
+    case QueryPattern::kPeriodic: {
+      // Fig. 10(c): repeated linear sweeps (sawtooth) across the domain.
+      const size_t period = std::max<size_t>(1, n / 10);
+      const double phase = static_cast<double>(i % period) / period;
+      return static_cast<int64_t>(phase * static_cast<double>(domain));
+    }
+    case QueryPattern::kSequential: {
+      // Fig. 10(d): one monotone pass over the domain.
+      const double phase = static_cast<double>(i) / std::max<size_t>(1, n);
+      return static_cast<int64_t>(phase * static_cast<double>(domain));
+    }
+    case QueryPattern::kSkyServer: {
+      // Fig. 10(e): the logged SkyServer queries dwell on one region of
+      // the sky (right ascension) and then hop to another. We emulate:
+      // stay near a center for a random segment length, drift slightly,
+      // then jump.
+      if (*sky_remaining == 0) {
+        *sky_center =
+            static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)));
+        *sky_remaining = 20 + rng.Below(120);
+      }
+      --*sky_remaining;
+      const int64_t window = std::max<int64_t>(1, domain / 64);
+      const int64_t jitter =
+          static_cast<int64_t>(rng.Below(static_cast<uint64_t>(window))) -
+          window / 2;
+      *sky_center += jitter / 8;  // slow drift within the region
+      int64_t pos = *sky_center + jitter;
+      pos = std::clamp<int64_t>(pos, 0, domain - 1);
+      return pos;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<RangeQuery> GenerateWorkload(const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  ZipfGenerator attr_zipf(std::max<size_t>(1, spec.num_attributes),
+                          spec.attribute_zipf_theta);
+  std::vector<RangeQuery> queries;
+  queries.reserve(spec.num_queries);
+  int64_t sky_center = 0;
+  size_t sky_remaining = 0;
+  for (size_t i = 0; i < spec.num_queries; ++i) {
+    RangeQuery q;
+    q.attr = spec.skewed_attributes
+                 ? attr_zipf.Sample(rng)
+                 : rng.Below(std::max<size_t>(1, spec.num_attributes));
+    const int64_t pos = PatternPosition(spec.pattern, i, spec.num_queries,
+                                        spec.domain, rng, &sky_center,
+                                        &sky_remaining);
+    int64_t width;
+    if (spec.selectivity > 0) {
+      width = std::max<int64_t>(
+          1, static_cast<int64_t>(spec.selectivity *
+                                  static_cast<double>(spec.domain)));
+    } else {
+      // Random selectivity, as in the §5.1 microbenchmark.
+      width = 1 + static_cast<int64_t>(
+                      rng.Below(static_cast<uint64_t>(spec.domain)));
+    }
+    q.low = pos;
+    q.high = (q.low > spec.domain - width) ? spec.domain : q.low + width;
+    queries.push_back(q);
+  }
+  return queries;
+}
+
+std::vector<int64_t> GenerateUniformColumn(size_t n, int64_t domain,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> data(n);
+  for (auto& v : data) {
+    v = static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)));
+  }
+  return data;
+}
+
+std::vector<WorkloadOp> GenerateUpdateWorkload(UpdateScenario scenario,
+                                               size_t num_queries,
+                                               int64_t domain,
+                                               double idle_seconds,
+                                               uint64_t seed) {
+  Rng rng(seed);
+  const size_t batch =
+      scenario == UpdateScenario::kHighFrequencyLowVolume ? 10 : 100;
+  std::vector<WorkloadOp> ops;
+  ops.reserve(2 * num_queries + 2);
+  for (size_t i = 0; i < num_queries; ++i) {
+    WorkloadOp op;
+    op.kind = WorkloadOp::Kind::kQuery;
+    op.query.attr = 0;
+    op.query.low =
+        static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)));
+    const int64_t width = std::max<int64_t>(1, domain / 1000);
+    op.query.high = std::min<int64_t>(domain, op.query.low + width);
+    ops.push_back(op);
+    if (i == 9 && idle_seconds > 0) {
+      WorkloadOp idle;
+      idle.kind = WorkloadOp::Kind::kIdle;
+      idle.idle_seconds = idle_seconds;
+      ops.push_back(idle);
+    }
+    if ((i + 1) % batch == 0) {
+      for (size_t k = 0; k < batch; ++k) {
+        WorkloadOp ins;
+        ins.kind = WorkloadOp::Kind::kInsert;
+        ins.insert_value =
+            static_cast<int64_t>(rng.Below(static_cast<uint64_t>(domain)));
+        ops.push_back(ins);
+      }
+    }
+  }
+  return ops;
+}
+
+}  // namespace holix

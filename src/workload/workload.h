@@ -1,0 +1,87 @@
+/// \file workload.h
+/// \brief Workload generation: the synthetic query patterns of Figure 10,
+/// a SkyServer-like exploration trace, multi-attribute schemas (§5.4), and
+/// the update interleavings of §5.7.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/zipf.h"
+
+namespace holix {
+
+/// One range-select query against a single attribute:
+/// select ... where low <= A_attr < high.
+struct RangeQuery {
+  size_t attr = 0;   ///< Which attribute the query touches.
+  int64_t low = 0;   ///< Inclusive lower bound.
+  int64_t high = 0;  ///< Exclusive upper bound.
+};
+
+/// How predicate positions evolve over the query sequence (Fig. 10).
+enum class QueryPattern : uint8_t {
+  kRandom,      ///< Uniform positions over the whole domain (Fig. 10a).
+  kSkewed,      ///< Concentrated in the top fifth of the domain (Fig. 10b).
+  kPeriodic,    ///< Sawtooth sweeps across the domain (Fig. 10c).
+  kSequential,  ///< One monotone sweep low -> high (Fig. 10d).
+  kSkyServer,   ///< Clustered exploration with region jumps (Fig. 10e).
+};
+
+/// Printable pattern name.
+const char* QueryPatternName(QueryPattern p);
+
+/// Parameters of a generated workload.
+struct WorkloadSpec {
+  size_t num_queries = 1000;
+  size_t num_attributes = 10;
+  int64_t domain = int64_t{1} << 30;  ///< Values are in [0, domain).
+  QueryPattern pattern = QueryPattern::kRandom;
+
+  /// Attribute choice: uniform round-robin-free random, or Zipf-skewed
+  /// (§5.4's "skewed attributes" variant).
+  bool skewed_attributes = false;
+  double attribute_zipf_theta = 1.0;
+
+  /// Query range width as a fraction of the domain; 0 means "random
+  /// selectivity" (the §5.1 microbenchmark draws random ranges).
+  double selectivity = 0.0;
+
+  uint64_t seed = 1234;
+};
+
+/// Generates the per-query predicate positions for \p spec.
+std::vector<RangeQuery> GenerateWorkload(const WorkloadSpec& spec);
+
+/// Generates a column of \p n uniformly distributed integers in
+/// [0, domain) (the paper's 2^30 uniform columns).
+std::vector<int64_t> GenerateUniformColumn(size_t n, int64_t domain,
+                                           uint64_t seed);
+
+/// One step of an interleaved read/write workload (§5.7).
+struct WorkloadOp {
+  enum class Kind : uint8_t { kQuery, kInsert, kIdle } kind = Kind::kQuery;
+  RangeQuery query;       ///< Valid when kind == kQuery.
+  int64_t insert_value = 0;  ///< Valid when kind == kInsert.
+  double idle_seconds = 0;   ///< Valid when kind == kIdle.
+};
+
+/// Update-scenario shapes of §5.7.
+enum class UpdateScenario : uint8_t {
+  kHighFrequencyLowVolume,  ///< 10 inserts every 10 queries.
+  kLowFrequencyHighVolume,  ///< 100 inserts every 100 queries.
+};
+
+/// Builds the §5.7 interleaving: \p num_queries selects and an equal
+/// number of inserts on one attribute, in HFLV or LFHV batches, with one
+/// idle gap of \p idle_seconds after the 10th query.
+std::vector<WorkloadOp> GenerateUpdateWorkload(UpdateScenario scenario,
+                                               size_t num_queries,
+                                               int64_t domain,
+                                               double idle_seconds,
+                                               uint64_t seed);
+
+}  // namespace holix

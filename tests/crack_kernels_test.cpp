@@ -1,0 +1,207 @@
+/// Tests for the physical reorganization kernels: correctness of every
+/// partition kernel over parameterized pivots, sizes and distributions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cracking/crack_kernels.h"
+#include "cracking/parallel_crack.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace holix {
+namespace {
+
+struct KernelInput {
+  std::vector<int64_t> values;
+  std::vector<RowId> ids;
+};
+
+KernelInput MakeInput(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  KernelInput in;
+  in.values.resize(n);
+  in.ids.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    in.values[i] = static_cast<int64_t>(rng.Below(domain));
+    in.ids[i] = i;
+  }
+  return in;
+}
+
+/// Checks the two-way partition postcondition and multiset preservation.
+void CheckTwoWay(const KernelInput& original, const KernelInput& cracked,
+                 size_t cut, int64_t pivot) {
+  ASSERT_EQ(original.values.size(), cracked.values.size());
+  for (size_t i = 0; i < cut; ++i) {
+    ASSERT_LT(cracked.values[i], pivot) << "position " << i;
+  }
+  for (size_t i = cut; i < cracked.values.size(); ++i) {
+    ASSERT_GE(cracked.values[i], pivot) << "position " << i;
+  }
+  // (value, id) pairs must stay together and form the same multiset.
+  for (size_t i = 0; i < cracked.values.size(); ++i) {
+    ASSERT_EQ(original.values[cracked.ids[i]], cracked.values[i]);
+  }
+  auto ids_sorted = cracked.ids;
+  std::sort(ids_sorted.begin(), ids_sorted.end());
+  for (size_t i = 0; i < ids_sorted.size(); ++i) ASSERT_EQ(ids_sorted[i], i);
+}
+
+size_t ExpectedCut(const std::vector<int64_t>& v, int64_t pivot) {
+  return std::count_if(v.begin(), v.end(),
+                       [&](int64_t x) { return x < pivot; });
+}
+
+// --- Scalar kernel -----------------------------------------------------
+
+class ScalarKernelTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int64_t>> {};
+
+TEST_P(ScalarKernelTest, PartitionsCorrectly) {
+  const auto [n, pivot] = GetParam();
+  const KernelInput original = MakeInput(n, 1000, n + pivot);
+  KernelInput in = original;
+  const size_t cut = CrackInTwoScalar(
+      in.values.data(), 0, n, pivot, [&](size_t i, size_t j) {
+        std::swap(in.values[i], in.values[j]);
+        std::swap(in.ids[i], in.ids[j]);
+      });
+  EXPECT_EQ(cut, ExpectedCut(original.values, pivot));
+  CheckTwoWay(original, in, cut, pivot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScalarKernelTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 100, 1023, 4096),
+                       ::testing::Values(-5, 0, 1, 250, 500, 999, 1000,
+                                         2000)));
+
+// --- Out-of-place kernel ------------------------------------------------
+
+class OutOfPlaceKernelTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int64_t>> {};
+
+TEST_P(OutOfPlaceKernelTest, PartitionsCorrectly) {
+  const auto [n, pivot] = GetParam();
+  const KernelInput original = MakeInput(n, 1000, 7 * n + pivot);
+  KernelInput in = original;
+  CrackScratch<int64_t> scratch;
+  const size_t cut = CrackInTwoOutOfPlace(in.values.data(), in.ids.data(), 0,
+                                          n, pivot, scratch);
+  EXPECT_EQ(cut, ExpectedCut(original.values, pivot));
+  CheckTwoWay(original, in, cut, pivot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OutOfPlaceKernelTest,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 100, 1023, 4096),
+                       ::testing::Values(-5, 0, 1, 250, 500, 999, 1000,
+                                         2000)));
+
+TEST(OutOfPlaceKernel, SubrangeOnly) {
+  const KernelInput original = MakeInput(1000, 100, 5);
+  KernelInput in = original;
+  CrackScratch<int64_t> scratch;
+  const size_t cut = CrackInTwoOutOfPlace(in.values.data(), in.ids.data(),
+                                          size_t{200}, size_t{700},
+                                          int64_t{50}, scratch);
+  for (size_t i = 0; i < 200; ++i) ASSERT_EQ(in.values[i], original.values[i]);
+  for (size_t i = 700; i < 1000; ++i)
+    ASSERT_EQ(in.values[i], original.values[i]);
+  for (size_t i = 200; i < cut; ++i) ASSERT_LT(in.values[i], 50);
+  for (size_t i = cut; i < 700; ++i) ASSERT_GE(in.values[i], 50);
+}
+
+// --- Three-way kernel ---------------------------------------------------
+
+class ThreeWayKernelTest
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ThreeWayKernelTest, PartitionsIntoThree) {
+  const auto [low, high] = GetParam();
+  if (low >= high) GTEST_SKIP();
+  const KernelInput original = MakeInput(3000, 1000, low * 31 + high);
+  KernelInput in = original;
+  const auto [a, b] = CrackInThreeScalar(
+      in.values.data(), 0, in.values.size(), low, high,
+      [&](size_t i, size_t j) {
+        std::swap(in.values[i], in.values[j]);
+        std::swap(in.ids[i], in.ids[j]);
+      });
+  ASSERT_LE(a, b);
+  for (size_t i = 0; i < a; ++i) ASSERT_LT(in.values[i], low);
+  for (size_t i = a; i < b; ++i) {
+    ASSERT_GE(in.values[i], low);
+    ASSERT_LT(in.values[i], high);
+  }
+  for (size_t i = b; i < in.values.size(); ++i) ASSERT_GE(in.values[i], high);
+  for (size_t i = 0; i < in.values.size(); ++i) {
+    ASSERT_EQ(original.values[in.ids[i]], in.values[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ThreeWayKernelTest,
+    ::testing::Combine(::testing::Values(-10, 0, 100, 500, 998),
+                       ::testing::Values(1, 101, 500, 999, 1500)));
+
+// --- Parallel kernel ----------------------------------------------------
+
+class ParallelKernelTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ParallelKernelTest, MatchesSequentialSemantics) {
+  const auto [n, threads] = GetParam();
+  ThreadPool pool(threads);
+  const KernelInput original = MakeInput(n, 1u << 20, n * threads + 3);
+  KernelInput in = original;
+  const int64_t pivot = 1 << 19;
+  const size_t cut =
+      ParallelCrackInTwo(in.values.data(), in.ids.data(), 0, n, pivot, pool,
+                         threads, /*min_parallel_piece=*/256);
+  EXPECT_EQ(cut, ExpectedCut(original.values, pivot));
+  CheckTwoWay(original, in, cut, pivot);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelKernelTest,
+    ::testing::Combine(::testing::Values(1000, 4096, 65536, 300000),
+                       ::testing::Values(1, 2, 3, 4, 8)));
+
+TEST(ParallelKernel, AllValuesBelowPivot) {
+  ThreadPool pool(4);
+  KernelInput in = MakeInput(10000, 100, 1);
+  const size_t cut = ParallelCrackInTwo(in.values.data(), in.ids.data(), 0,
+                                        in.values.size(), int64_t{1000}, pool,
+                                        4, 256);
+  EXPECT_EQ(cut, in.values.size());
+}
+
+TEST(ParallelKernel, AllValuesAtOrAbovePivot) {
+  ThreadPool pool(4);
+  KernelInput in = MakeInput(10000, 100, 2);
+  const size_t cut = ParallelCrackInTwo(in.values.data(), in.ids.data(), 0,
+                                        in.values.size(), int64_t{-1}, pool,
+                                        4, 256);
+  EXPECT_EQ(cut, 0u);
+}
+
+TEST(ParallelKernel, SubrangePreservesOutside) {
+  ThreadPool pool(4);
+  const KernelInput original = MakeInput(100000, 1u << 16, 9);
+  KernelInput in = original;
+  const size_t lo = 10000, hi = 90000;
+  const int64_t pivot = 1 << 15;
+  ParallelCrackInTwo(in.values.data(), in.ids.data(), lo, hi, pivot, pool, 4,
+                     256);
+  for (size_t i = 0; i < lo; ++i) ASSERT_EQ(in.values[i], original.values[i]);
+  for (size_t i = hi; i < in.values.size(); ++i)
+    ASSERT_EQ(in.values[i], original.values[i]);
+}
+
+}  // namespace
+}  // namespace holix

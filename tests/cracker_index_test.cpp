@@ -1,0 +1,178 @@
+/// Tests for the AVL cracker index: boundary insertion, piece lookup by
+/// value and by position, balance, and stability of latch pointers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cracking/cracker_index.h"
+#include "util/rng.h"
+
+namespace holix {
+namespace {
+
+TEST(CrackerIndex, EmptyIndexIsOnePiece) {
+  CrackerIndex<int64_t> idx;
+  EXPECT_EQ(idx.num_boundaries(), 0u);
+  const auto piece = idx.FindPiece(42, 100);
+  EXPECT_EQ(piece.begin, 0u);
+  EXPECT_EQ(piece.end, 100u);
+  EXPECT_FALSE(piece.exact);
+  EXPECT_FALSE(piece.lo_value.has_value());
+  EXPECT_FALSE(piece.hi_value.has_value());
+  EXPECT_EQ(piece.latch, &idx.head_latch());
+}
+
+TEST(CrackerIndex, SingleBoundarySplitsDomain) {
+  CrackerIndex<int64_t> idx;
+  idx.Insert(50, 10);
+  const auto below = idx.FindPiece(49, 100);
+  EXPECT_EQ(below.begin, 0u);
+  EXPECT_EQ(below.end, 10u);
+  EXPECT_EQ(*below.hi_value, 50);
+  const auto above = idx.FindPiece(51, 100);
+  EXPECT_EQ(above.begin, 10u);
+  EXPECT_EQ(above.end, 100u);
+  EXPECT_EQ(*above.lo_value, 50);
+  const auto exact = idx.FindPiece(50, 100);
+  EXPECT_TRUE(exact.exact);
+  EXPECT_EQ(exact.begin, 10u);
+}
+
+TEST(CrackerIndex, DuplicateInsertIsNoop) {
+  CrackerIndex<int64_t> idx;
+  idx.Insert(50, 10);
+  idx.Insert(50, 99);  // ignored
+  EXPECT_EQ(idx.num_boundaries(), 1u);
+  EXPECT_EQ(idx.FindPiece(50, 100).begin, 10u);
+}
+
+TEST(CrackerIndex, HasBoundary) {
+  CrackerIndex<int64_t> idx;
+  idx.Insert(5, 1);
+  idx.Insert(10, 2);
+  EXPECT_TRUE(idx.HasBoundary(5));
+  EXPECT_TRUE(idx.HasBoundary(10));
+  EXPECT_FALSE(idx.HasBoundary(7));
+}
+
+TEST(CrackerIndex, InOrderTraversalIsSortedByValue) {
+  CrackerIndex<int64_t> idx;
+  Rng rng(4);
+  std::set<int64_t> inserted;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Below(100000));
+    idx.Insert(v, inserted.size());
+    inserted.insert(v);
+  }
+  EXPECT_EQ(idx.num_boundaries(), inserted.size());
+  std::vector<int64_t> seen;
+  idx.ForEachBoundary(
+      [&](CrackerIndex<int64_t>::Node& n) { seen.push_back(n.value); });
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+  EXPECT_EQ(seen.size(), inserted.size());
+}
+
+TEST(CrackerIndex, LookupMatchesReferenceMap) {
+  CrackerIndex<int64_t> idx;
+  std::map<int64_t, size_t> ref;  // value -> pos
+  Rng rng(5);
+  size_t next_pos = 0;
+  for (int i = 0; i < 300; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Below(10000));
+    if (ref.emplace(v, next_pos).second) {
+      idx.Insert(v, next_pos);
+      next_pos += 3;
+    }
+  }
+  const size_t column_size = next_pos + 10;
+  for (int probe = -5; probe < 10010; probe += 7) {
+    const auto piece = idx.FindPiece(probe, column_size);
+    auto upper = ref.upper_bound(probe);
+    const size_t expect_end =
+        upper == ref.end() ? column_size : upper->second;
+    size_t expect_begin = 0;
+    if (upper != ref.begin()) {
+      expect_begin = std::prev(upper)->second;
+    }
+    ASSERT_EQ(piece.begin, expect_begin) << "probe " << probe;
+    ASSERT_EQ(piece.end, expect_end) << "probe " << probe;
+    ASSERT_EQ(piece.exact, ref.count(probe) != 0) << "probe " << probe;
+  }
+}
+
+TEST(CrackerIndex, FindPieceByPositionCoversWholeColumn) {
+  CrackerIndex<int64_t> idx;
+  // Boundaries at positions 10, 20, 20 (empty piece), 50.
+  idx.Insert(100, 10);
+  idx.Insert(200, 20);
+  idx.Insert(201, 20);
+  idx.Insert(300, 50);
+  const size_t n = 80;
+  for (size_t pos = 0; pos < n; ++pos) {
+    const auto piece = idx.FindPieceByPosition(pos, n);
+    ASSERT_LE(piece.begin, pos);
+    ASSERT_LT(pos, piece.end) << "pos " << pos;
+  }
+  // Position 25 belongs to [20, 50) whose value floor is 201 (the last
+  // boundary at position 20 in value order).
+  EXPECT_EQ(*idx.FindPieceByPosition(25, n).lo_value, 201);
+}
+
+TEST(CrackerIndex, LatchPointersStableAcrossRebalancing) {
+  CrackerIndex<int64_t> idx;
+  // Insert ascending values: worst case for AVL rebalancing.
+  idx.Insert(0, 0);
+  const RwSpinLatch* first_latch = idx.FindPiece(0, 1000).latch;
+  for (int64_t v = 1; v < 200; ++v) idx.Insert(v, static_cast<size_t>(v));
+  // The node for value 0 must still own the same latch object.
+  EXPECT_EQ(idx.FindPiece(0, 1000).latch, first_latch);
+}
+
+TEST(CrackerIndex, BalancedDepthUnderAscendingInserts) {
+  // With 2^12 ascending inserts an unbalanced BST would be a 4096-deep
+  // list; AVL keeps lookups fast. We verify indirectly: lookups on a
+  // pathological insertion order still behave (and ForEachBoundary is
+  // sorted). Depth itself is internal, so probe a timing-free invariant.
+  CrackerIndex<int64_t> idx;
+  const size_t n = 4096;
+  for (size_t i = 0; i < n; ++i) {
+    idx.Insert(static_cast<int64_t>(i), i);
+  }
+  EXPECT_EQ(idx.num_boundaries(), n);
+  for (size_t i = 0; i < n; i += 97) {
+    const auto piece = idx.FindPiece(static_cast<int64_t>(i), n);
+    EXPECT_TRUE(piece.exact);
+    EXPECT_EQ(piece.begin, i);
+  }
+}
+
+TEST(CrackerIndex, ClearResets) {
+  CrackerIndex<int64_t> idx;
+  idx.Insert(1, 1);
+  idx.Insert(2, 2);
+  idx.Clear();
+  EXPECT_EQ(idx.num_boundaries(), 0u);
+  const auto piece = idx.FindPiece(1, 10);
+  EXPECT_EQ(piece.begin, 0u);
+  EXPECT_EQ(piece.end, 10u);
+}
+
+TEST(CrackerIndex, CollectBoundariesMatchesTraversal) {
+  CrackerIndex<int64_t> idx;
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    idx.Insert(static_cast<int64_t>(rng.Below(1000)), i);
+  }
+  auto nodes = idx.CollectBoundaries();
+  EXPECT_EQ(nodes.size(), idx.num_boundaries());
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i - 1]->value, nodes[i]->value);
+  }
+}
+
+}  // namespace
+}  // namespace holix

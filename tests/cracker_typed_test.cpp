@@ -1,0 +1,104 @@
+/// Typed tests: the cracking stack must behave identically for int32 and
+/// int64 key columns (the engine instantiates both).
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "cracking/cracker_index.h"
+#include "util/rng.h"
+
+namespace holix {
+namespace {
+
+template <typename T>
+class TypedCrackerTest : public ::testing::Test {
+ protected:
+  static std::vector<T> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<T> v(n);
+    for (auto& x : v) x = static_cast<T>(rng.Below(domain));
+    return v;
+  }
+
+  static size_t NaiveCount(const std::vector<T>& v, T lo, T hi) {
+    size_t c = 0;
+    for (T x : v) c += (x >= lo && x < hi) ? 1 : 0;
+    return c;
+  }
+};
+
+using KeyTypes = ::testing::Types<int32_t, int64_t>;
+TYPED_TEST_SUITE(TypedCrackerTest, KeyTypes);
+
+TYPED_TEST(TypedCrackerTest, SelectMatchesNaive) {
+  const auto base = this->MakeUniform(50000, 1 << 20, 1);
+  CrackerColumn<TypeParam> col("a", base);
+  Rng rng(2);
+  for (int i = 0; i < 80; ++i) {
+    const TypeParam lo = static_cast<TypeParam>(rng.Below(1 << 20));
+    const TypeParam hi =
+        static_cast<TypeParam>(std::min<int64_t>((1 << 20), lo + 1 + rng.Below(1 << 16)));
+    ASSERT_EQ(col.SelectRange(lo, hi).size(), this->NaiveCount(base, lo, hi));
+  }
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TYPED_TEST(TypedCrackerTest, RefineAndInvariants) {
+  const auto base = this->MakeUniform(30000, 1 << 16, 3);
+  CrackerColumn<TypeParam> col("a", base);
+  Rng rng(4);
+  size_t cracks = 0;
+  for (int i = 0; i < 200; ++i) {
+    cracks += col.TryRefineAt(static_cast<TypeParam>(rng.Below(1 << 16)))
+                  ? 1
+                  : 0;
+  }
+  EXPECT_GT(cracks, 100u);
+  EXPECT_EQ(col.NumPieces(), cracks + 1);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TYPED_TEST(TypedCrackerTest, ExtremeDomainValues) {
+  std::vector<TypeParam> base = {std::numeric_limits<TypeParam>::min(),
+                                 -1,
+                                 0,
+                                 1,
+                                 std::numeric_limits<TypeParam>::max() - 1,
+                                 std::numeric_limits<TypeParam>::max()};
+  CrackerColumn<TypeParam> col("a", base);
+  EXPECT_EQ(col.SelectRange(std::numeric_limits<TypeParam>::min(),
+                            std::numeric_limits<TypeParam>::max())
+                .size(),
+            5u);  // everything except max itself
+  EXPECT_EQ(col.SelectRange(0, 2).size(), 2u);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TYPED_TEST(TypedCrackerTest, CrackerIndexLookups) {
+  CrackerIndex<TypeParam> idx;
+  idx.Insert(10, 5);
+  idx.Insert(20, 9);
+  const auto piece = idx.FindPiece(15, 100);
+  EXPECT_EQ(piece.begin, 5u);
+  EXPECT_EQ(piece.end, 9u);
+  EXPECT_EQ(*piece.lo_value, 10);
+  EXPECT_EQ(*piece.hi_value, 20);
+}
+
+TYPED_TEST(TypedCrackerTest, RippleInsertTyped) {
+  const auto base = this->MakeUniform(5000, 1000, 5);
+  CrackerColumn<TypeParam> col("a", base);
+  col.SelectRange(200, 600);
+  const size_t before = col.SelectRange(300, 310).size();
+  col.pending().AddInsert(static_cast<TypeParam>(305), 99999);
+  col.MergePendingInRange(static_cast<TypeParam>(300),
+                          static_cast<TypeParam>(310));
+  EXPECT_EQ(col.SelectRange(300, 310).size(), before + 1);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace holix

@@ -1,0 +1,242 @@
+/// End-to-end engine tests: every execution mode must answer identical
+/// range counts, holistic mode must refine in the background, updates must
+/// be visible, and the storage budget must evict indices.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "engine/database.h"
+#include "harness/runner.h"
+#include "workload/workload.h"
+
+namespace holix {
+namespace {
+
+constexpr int64_t kDomain = 1 << 20;
+constexpr size_t kRows = 100000;
+
+size_t NaiveCount(const std::vector<int64_t>& v, int64_t lo, int64_t hi) {
+  size_t c = 0;
+  for (int64_t x : v) c += (x >= lo && x < hi) ? 1 : 0;
+  return c;
+}
+
+class ExecModeTest : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(ExecModeTest, CountsMatchNaiveReference) {
+  DatabaseOptions opts;
+  opts.mode = GetParam();
+  opts.user_threads = 4;
+  opts.total_cores = 8;
+  opts.online_observation_window = 10;
+  Database db(opts);
+  const auto data = GenerateUniformColumn(kRows, kDomain, 11);
+  db.LoadColumn("r", "a", data);
+
+  Rng rng(22);
+  for (int i = 0; i < 60; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t width = 1 + static_cast<int64_t>(rng.Below(kDomain / 4));
+    ASSERT_EQ(db.CountRange("r", "a", lo, lo + width),
+              NaiveCount(data, lo, lo + width))
+        << ExecModeName(GetParam()) << " query " << i;
+  }
+}
+
+TEST_P(ExecModeTest, SumAndRowIdsConsistent) {
+  DatabaseOptions opts;
+  opts.mode = GetParam();
+  opts.user_threads = 2;
+  opts.total_cores = 4;
+  opts.online_observation_window = 2;
+  Database db(opts);
+  const auto data = GenerateUniformColumn(20000, kDomain, 12);
+  db.LoadColumn("r", "a", data);
+
+  int64_t naive_sum = 0;
+  size_t naive_count = 0;
+  for (int64_t v : data) {
+    if (v >= 1000 && v < 500000) {
+      naive_sum += v;
+      ++naive_count;
+    }
+  }
+  EXPECT_EQ(db.SumRange("r", "a", 1000, 500000), naive_sum);
+  const PositionList rows = db.SelectRowIds("r", "a", 1000, 500000);
+  EXPECT_EQ(rows.size(), naive_count);
+  for (RowId r : rows) {
+    ASSERT_GE(data[r], 1000);
+    ASSERT_LT(data[r], 500000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ExecModeTest,
+    ::testing::Values(ExecMode::kScan, ExecMode::kOffline, ExecMode::kOnline,
+                      ExecMode::kAdaptive, ExecMode::kStochastic,
+                      ExecMode::kCCGI, ExecMode::kHolistic),
+    [](const auto& info) { return ExecModeName(info.param); });
+
+TEST(Database, ModeNames) {
+  EXPECT_STREQ(ExecModeName(ExecMode::kScan), "scan");
+  EXPECT_STREQ(ExecModeName(ExecMode::kHolistic), "holistic");
+}
+
+TEST(Database, CcgiPrePartitionsOnFirstQuery) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kCCGI;
+  opts.user_threads = 4;
+  opts.ccgi_chunks = 8;
+  Database db(opts);
+  db.LoadColumn("r", "a", GenerateUniformColumn(kRows, kDomain, 13));
+  db.CountRange("r", "a", 100, 200);
+  // 8 coarse chunks plus the query's own cracks.
+  EXPECT_GE(db.TotalIndexPieces(), 8u);
+}
+
+TEST(Database, HolisticRefinesInBackground) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = 2;
+  opts.total_cores = 8;
+  opts.holistic.max_workers = 4;
+  opts.holistic.monitor_interval_seconds = 0.001;
+  Database db(opts);
+  db.LoadColumn("r", "a", GenerateUniformColumn(500000, kDomain, 14));
+  db.CountRange("r", "a", 100, 200);  // creates the index (C_actual)
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GT(db.holistic()->TotalWorkerCracks(), 0u);
+  EXPECT_GT(db.TotalIndexPieces(), 3u);
+  // The index is either still being refined (actual) or has already
+  // converged to optimal status — both mean holistic indexing worked.
+  EXPECT_EQ(db.holistic()->store().Count(ConfigKind::kActual) +
+                db.holistic()->store().Count(ConfigKind::kOptimal),
+            1u);
+}
+
+TEST(Database, SeedPotentialIndexRefinedBeforeQueries) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = 1;
+  opts.total_cores = 4;
+  opts.holistic.monitor_interval_seconds = 0.001;
+  Database db(opts);
+  const auto data = GenerateUniformColumn(500000, kDomain, 15);
+  db.LoadColumn("r", "a", data);
+  db.SeedPotentialIndex("r", "a");
+  EXPECT_EQ(db.holistic()->store().Count(ConfigKind::kPotential), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_GT(db.TotalIndexPieces(), 2u);  // refined while idle
+  // First query promotes it (unless it already converged to optimal) and
+  // still answers correctly.
+  EXPECT_EQ(db.CountRange("r", "a", 5000, 90000),
+            NaiveCount(data, 5000, 90000));
+  EXPECT_EQ(db.holistic()->store().Count(ConfigKind::kActual) +
+                db.holistic()->store().Count(ConfigKind::kOptimal),
+            1u);
+  EXPECT_EQ(db.holistic()->store().Count(ConfigKind::kPotential), 0u);
+}
+
+TEST(Database, InsertsVisibleAfterMerge) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  const auto data = GenerateUniformColumn(10000, 1000, 16);
+  db.LoadColumn("r", "a", data);
+  const size_t before = db.CountRange("r", "a", 400, 410);
+  db.Insert("r", "a", 405);
+  db.Insert("r", "a", 405);
+  EXPECT_EQ(db.CountRange("r", "a", 400, 410), before + 2);
+}
+
+TEST(Database, DeleteRemovesRow) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  db.LoadColumn("r", "a", GenerateUniformColumn(10000, 1000, 17));
+  db.Insert("r", "a", 777000);  // outside base domain: uniquely ours
+  EXPECT_EQ(db.CountRange("r", "a", 777000, 777001), 1u);
+  EXPECT_TRUE(db.Delete("r", "a", 777000));
+  EXPECT_EQ(db.CountRange("r", "a", 777000, 777001), 0u);
+  EXPECT_FALSE(db.Delete("r", "a", 777000));
+}
+
+TEST(Database, UpdatesRejectedInScanMode) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kScan;
+  Database db(opts);
+  db.LoadColumn("r", "a", {1, 2, 3});
+  EXPECT_THROW(db.Insert("r", "a", 5), std::logic_error);
+}
+
+TEST(Database, StorageBudgetEvictsColdIndices) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = 1;
+  opts.total_cores = 2;
+  // Each index: 20000 rows * 16 B = 320 KB. Budget: two indices.
+  opts.holistic.storage_budget_bytes = 700 * 1024;
+  Database db(opts);
+  for (int i = 0; i < 3; ++i) {
+    db.LoadColumn("r", "a" + std::to_string(i),
+                  GenerateUniformColumn(20000, kDomain, 18 + i));
+  }
+  db.CountRange("r", "a0", 10, 100000);
+  db.CountRange("r", "a0", 10, 100000);  // a0 is hot
+  db.CountRange("r", "a1", 10, 20);
+  db.CountRange("r", "a2", 10, 20);  // must evict someone
+  EXPECT_LE(db.holistic()->store().TotalBytes(),
+            opts.holistic.storage_budget_bytes);
+  EXPECT_LE(db.NumAdaptiveIndices(), 2u);
+  // Queries on evicted columns still answer correctly (index rebuilt).
+  const auto data = GenerateUniformColumn(20000, kDomain, 19);
+  db.LoadColumn("r", "fresh", data);
+  EXPECT_EQ(db.CountRange("r", "fresh", 100, 5000),
+            NaiveCount(data, 100, 5000));
+}
+
+TEST(Database, MultiClientHolisticConsistency) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = 2;
+  opts.total_cores = 8;
+  opts.holistic.monitor_interval_seconds = 0.001;
+  Database db(opts);
+  const auto data = GenerateUniformColumn(200000, kDomain, 20);
+  db.LoadColumn("r", "a", data);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(100 + c);
+      for (int i = 0; i < 50; ++i) {
+        const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+        const int64_t width = 1 + static_cast<int64_t>(rng.Below(kDomain / 8));
+        if (db.CountRange("r", "a", lo, lo + width) !=
+            NaiveCount(data, lo, lo + width)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Database, OfflinePrepareSortsAllColumns) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kOffline;
+  opts.user_threads = 4;
+  Database db(opts);
+  const auto a = GenerateUniformColumn(50000, kDomain, 21);
+  const auto b = GenerateUniformColumn(50000, kDomain, 22);
+  db.LoadColumn("r", "a", a);
+  db.LoadColumn("r", "b", b);
+  db.PrepareOfflineIndexes();
+  EXPECT_EQ(db.CountRange("r", "a", 100, 90000), NaiveCount(a, 100, 90000));
+  EXPECT_EQ(db.CountRange("r", "b", 100, 90000), NaiveCount(b, 100, 90000));
+}
+
+}  // namespace
+}  // namespace holix

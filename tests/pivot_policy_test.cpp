@@ -1,0 +1,114 @@
+/// Tests for the §4.2 pivot-policy ablation machinery: extreme-piece pivot
+/// suggestion and policy-driven refinement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "holistic/adaptive_index.h"
+#include "holistic/pivot_policy.h"
+#include "util/cache_info.h"
+#include "util/rng.h"
+
+namespace holix {
+namespace {
+
+std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
+  return v;
+}
+
+TEST(PivotPolicy, Names) {
+  EXPECT_STREQ(PivotPolicyName(PivotPolicy::kRandom), "random");
+  EXPECT_STREQ(PivotPolicyName(PivotPolicy::kBiggestPiece), "biggest-piece");
+  EXPECT_STREQ(PivotPolicyName(PivotPolicy::kSmallestPiece),
+               "smallest-piece");
+}
+
+TEST(PivotPolicy, SuggestsValueInsideBiggestPiece) {
+  const auto base = MakeUniform(100000, 1 << 20, 1);
+  CrackerColumn<int64_t> col("a", base);
+  // Crack off a small prefix: pieces are [0 .. cut) and [cut .. end),
+  // the second much bigger.
+  col.CrackAtBlocking(1 << 10);
+  Rng rng(2);
+  const auto pivot = col.SuggestExtremePiecePivot(/*biggest=*/true, rng);
+  ASSERT_TRUE(pivot.has_value());
+  EXPECT_GE(*pivot, 1 << 10);  // value from the big upper piece
+}
+
+TEST(PivotPolicy, SuggestsValueInsideSmallestPiece) {
+  const auto base = MakeUniform(100000, 1 << 20, 3);
+  CrackerColumn<int64_t> col("a", base);
+  // Carve out a small middle piece [v, v + 2^12).
+  col.SelectRange(500000, 500000 + (1 << 12));
+  Rng rng(4);
+  const auto pivot = col.SuggestExtremePiecePivot(/*biggest=*/false, rng,
+                                                  /*min_piece=*/2);
+  ASSERT_TRUE(pivot.has_value());
+  EXPECT_GE(*pivot, 500000);
+  EXPECT_LT(*pivot, 500000 + (1 << 12));
+}
+
+TEST(PivotPolicy, RespectsMinPieceFilter) {
+  std::vector<int64_t> base(100);
+  for (size_t i = 0; i < base.size(); ++i) base[i] = static_cast<int64_t>(i);
+  CrackerColumn<int64_t> col("a", base);
+  Rng rng(5);
+  // With min_piece larger than the column, nothing qualifies.
+  EXPECT_FALSE(col.SuggestExtremePiecePivot(true, rng, 1000).has_value());
+}
+
+TEST(PivotPolicy, BiggestPieceRefinementBalancesFaster) {
+  // Property from the paper's discussion: targeting the biggest piece
+  // maximally reduces the maximum piece size per step.
+  const auto base = MakeUniform(200000, 1 << 20, 6);
+  CrackerColumn<int64_t> col_big("big", base);
+  CrackerColumn<int64_t> col_rand("rand", base);
+  auto idx_big = std::make_shared<CrackerAdaptiveIndex<int64_t>>(
+      std::shared_ptr<CrackerColumn<int64_t>>(&col_big,
+                                              [](CrackerColumn<int64_t>*) {}));
+  auto idx_rand = std::make_shared<CrackerAdaptiveIndex<int64_t>>(
+      std::shared_ptr<CrackerColumn<int64_t>>(&col_rand,
+                                              [](CrackerColumn<int64_t>*) {}));
+  Rng rng_a(7), rng_b(7);
+  CrackConfig cfg;
+  for (int i = 0; i < 40; ++i) {
+    idx_big->RefineWithPolicy(PivotPolicy::kBiggestPiece, rng_a, cfg);
+    idx_rand->RefineWithPolicy(PivotPolicy::kRandom, rng_b, cfg);
+  }
+  const auto sizes_big = col_big.PieceSizes();
+  const auto sizes_rand = col_rand.PieceSizes();
+  const size_t max_big =
+      *std::max_element(sizes_big.begin(), sizes_big.end());
+  const size_t max_rand =
+      *std::max_element(sizes_rand.begin(), sizes_rand.end());
+  EXPECT_LE(max_big, max_rand);
+  EXPECT_TRUE(col_big.CheckInvariants());
+  EXPECT_TRUE(col_rand.CheckInvariants());
+}
+
+TEST(PivotPolicy, AllPoliciesConvergeToOptimal) {
+  OverrideL1DataCacheBytes(8 * 128);
+  for (PivotPolicy p : {PivotPolicy::kRandom, PivotPolicy::kBiggestPiece,
+                        PivotPolicy::kSmallestPiece}) {
+    auto col = std::make_shared<CrackerColumn<int64_t>>(
+        "a", MakeUniform(20000, 1 << 20, 8));
+    CrackerAdaptiveIndex<int64_t> idx(col);
+    Rng rng(9);
+    CrackConfig cfg;
+    int steps = 0;
+    while (!idx.IsOptimal() && steps < 20000) {
+      idx.RefineWithPolicy(p, rng, cfg);
+      ++steps;
+    }
+    EXPECT_TRUE(idx.IsOptimal()) << PivotPolicyName(p);
+    EXPECT_TRUE(col->CheckInvariants()) << PivotPolicyName(p);
+  }
+  OverrideL1DataCacheBytes(0);
+}
+
+}  // namespace
+}  // namespace holix

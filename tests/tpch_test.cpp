@@ -1,0 +1,166 @@
+/// TPC-H tests: data-generation sanity (domains, correlations) and result
+/// equivalence of Q1/Q6/Q12 across the scan / presorted / cracked /
+/// holistic-refined executors.
+
+#include <gtest/gtest.h>
+
+#include "holistic/holistic_engine.h"
+#include "tpch/tpch_data.h"
+#include "tpch/tpch_queries.h"
+
+namespace holix {
+namespace {
+
+const TpchData& SmallData() {
+  static const TpchData data = TpchData::Generate(0.01, 42);
+  return data;
+}
+
+TEST(TpchData, RowCountsScale) {
+  const auto& d = SmallData();
+  EXPECT_EQ(d.NumOrders(), 15000u);
+  EXPECT_GT(d.NumLineitems(), 3 * d.NumOrders());
+  EXPECT_LT(d.NumLineitems(), 8 * d.NumOrders());
+}
+
+TEST(TpchData, ColumnsAligned) {
+  const auto& d = SmallData();
+  const size_t n = d.NumLineitems();
+  EXPECT_EQ(d.l_quantity.size(), n);
+  EXPECT_EQ(d.l_extendedprice.size(), n);
+  EXPECT_EQ(d.l_discount.size(), n);
+  EXPECT_EQ(d.l_shipdate.size(), n);
+  EXPECT_EQ(d.l_receiptdate.size(), n);
+  EXPECT_EQ(d.l_shipmode.size(), n);
+}
+
+TEST(TpchData, ValueDomains) {
+  const auto& d = SmallData();
+  for (size_t i = 0; i < d.NumLineitems(); i += 17) {
+    ASSERT_GE(d.l_quantity[i], 1);
+    ASSERT_LE(d.l_quantity[i], 50);
+    ASSERT_GE(d.l_discount[i], 0);
+    ASSERT_LE(d.l_discount[i], 10);
+    ASSERT_GE(d.l_tax[i], 0);
+    ASSERT_LE(d.l_tax[i], 8);
+    ASSERT_GE(d.l_returnflag[i], 0);
+    ASSERT_LE(d.l_returnflag[i], 2);
+    ASSERT_GE(d.l_shipmode[i], 0);
+    ASSERT_LT(d.l_shipmode[i], kTpchNumShipModes);
+    ASSERT_GE(d.l_shipdate[i], 0);
+    ASSERT_LE(d.l_shipdate[i], kTpchDateMax);
+  }
+}
+
+TEST(TpchData, DateCorrelations) {
+  const auto& d = SmallData();
+  for (size_t i = 0; i < d.NumLineitems(); i += 13) {
+    const int64_t orderdate = d.o_orderdate[d.l_orderkey[i] - 1];
+    ASSERT_GT(d.l_shipdate[i], orderdate);
+    // receiptdate strictly after shipdate (unless clamped at range end).
+    if (d.l_receiptdate[i] < kTpchDateMax) {
+      ASSERT_GT(d.l_receiptdate[i], d.l_shipdate[i]);
+    }
+  }
+}
+
+TEST(TpchData, OrderkeysDenseAndValid) {
+  const auto& d = SmallData();
+  for (size_t i = 0; i < d.NumLineitems(); i += 11) {
+    ASSERT_GE(d.l_orderkey[i], 1);
+    ASSERT_LE(d.l_orderkey[i], static_cast<int64_t>(d.NumOrders()));
+  }
+}
+
+TEST(TpchQueries, Q1AllExecutorsAgree) {
+  const auto& d = SmallData();
+  TpchScanExecutor scan(d);
+  TpchPresortedExecutor sorted(d);
+  TpchCrackedExecutor cracked(d);
+  Rng rng(1);
+  for (int i = 0; i < 8; ++i) {
+    const Q1Params p = RandomQ1Params(rng);
+    const Q1Result a = scan.Q1(p);
+    EXPECT_EQ(a, sorted.Q1(p)) << "variation " << i;
+    EXPECT_EQ(a, cracked.Q1(p)) << "variation " << i;
+  }
+}
+
+TEST(TpchQueries, Q6AllExecutorsAgree) {
+  const auto& d = SmallData();
+  TpchScanExecutor scan(d);
+  TpchPresortedExecutor sorted(d);
+  TpchCrackedExecutor cracked(d);
+  Rng rng(2);
+  for (int i = 0; i < 12; ++i) {
+    const Q6Params p = RandomQ6Params(rng);
+    const Q6Result a = scan.Q6(p);
+    EXPECT_EQ(a, sorted.Q6(p)) << "variation " << i;
+    EXPECT_EQ(a, cracked.Q6(p)) << "variation " << i;
+  }
+}
+
+TEST(TpchQueries, Q12AllExecutorsAgree) {
+  const auto& d = SmallData();
+  TpchScanExecutor scan(d);
+  TpchPresortedExecutor sorted(d);
+  TpchCrackedExecutor cracked(d);
+  Rng rng(3);
+  for (int i = 0; i < 12; ++i) {
+    const Q12Params p = RandomQ12Params(rng);
+    const Q12Result a = scan.Q12(p);
+    EXPECT_EQ(a, sorted.Q12(p)) << "variation " << i;
+    EXPECT_EQ(a, cracked.Q12(p)) << "variation " << i;
+  }
+}
+
+TEST(TpchQueries, Q1SelectsNonEmptyGroups) {
+  const auto& d = SmallData();
+  TpchScanExecutor scan(d);
+  const Q1Result r = scan.Q1(Q1Params{});
+  int64_t total = 0;
+  for (size_t g = 0; g < Q1Result::kGroups; ++g) total += r.count[g];
+  EXPECT_GT(total, 0);
+  // Charges must be >= disc prices (tax is non-negative).
+  for (size_t g = 0; g < Q1Result::kGroups; ++g) {
+    EXPECT_GE(r.sum_charge[g], r.sum_disc_price[g] * 100);
+  }
+}
+
+TEST(TpchQueries, CrackedResultsStableUnderHolisticWorkers) {
+  const auto& d = SmallData();
+  TpchScanExecutor scan(d);
+  TpchCrackedExecutor cracked(d);
+  HolisticConfig cfg;
+  cfg.max_workers = 4;
+  cfg.refinements_per_worker = 16;
+  cfg.monitor_interval_seconds = 0.0005;
+  HolisticEngine engine(cfg, std::make_unique<SlotCpuMonitor>(8, 0.0005));
+  engine.store().Register(cracked.ShipdateIndex(), ConfigKind::kActual);
+  engine.store().Register(cracked.ReceiptdateIndex(), ConfigKind::kActual);
+  engine.Start();
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Q6Params p6 = RandomQ6Params(rng);
+    ASSERT_EQ(scan.Q6(p6), cracked.Q6(p6)) << "Q6 variation " << i;
+    const Q12Params p12 = RandomQ12Params(rng);
+    ASSERT_EQ(scan.Q12(p12), cracked.Q12(p12)) << "Q12 variation " << i;
+  }
+  engine.Stop();
+  EXPECT_GT(engine.TotalWorkerCracks(), 0u);
+}
+
+TEST(TpchQueries, RandomParamsWithinSpec) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const Q6Params p6 = RandomQ6Params(rng);
+    EXPECT_GE(p6.discount_lo, 1);
+    EXPECT_EQ(p6.discount_hi, p6.discount_lo + 2);
+    EXPECT_LE(p6.date_lo + 365, kTpchDateMax);
+    const Q12Params p12 = RandomQ12Params(rng);
+    EXPECT_NE(p12.mode1, p12.mode2);
+  }
+}
+
+}  // namespace
+}  // namespace holix

@@ -1,0 +1,177 @@
+/// Tests for pending updates and the Ripple merge ([28], §4.2 "Updates"):
+/// inserts/deletes park in pending queues, merge on demand without breaking
+/// any piece boundary, and holistic workers merge as a side effect.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cracking/cracker_column.h"
+#include "storage/pending_updates.h"
+#include "util/rng.h"
+
+namespace holix {
+namespace {
+
+std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
+  return v;
+}
+
+TEST(PendingUpdates, TakeInsertsFiltersByRange) {
+  PendingUpdates<int64_t> p;
+  p.AddInsert(5, 100);
+  p.AddInsert(15, 101);
+  p.AddInsert(25, 102);
+  EXPECT_EQ(p.PendingInserts(), 3u);
+  auto taken = p.TakeInsertsInRange(10, 20);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(taken[0].first, 15);
+  EXPECT_EQ(taken[0].second, 101u);
+  EXPECT_EQ(p.PendingInserts(), 2u);
+}
+
+TEST(PendingUpdates, TakeDeletesFiltersByRange) {
+  PendingUpdates<int64_t> p;
+  p.AddDelete(5, 1);
+  p.AddDelete(50, 2);
+  auto taken = p.TakeDeletesInRange(0, 10);
+  ASSERT_EQ(taken.size(), 1u);
+  EXPECT_EQ(p.PendingDeletes(), 1u);
+}
+
+TEST(RippleMerge, InsertIntoUncrackedColumn) {
+  CrackerColumn<int64_t> col("a", MakeUniform(1000, 1000, 1));
+  col.pending().AddInsert(123, 5000);
+  col.MergePendingInRange(0, 1000);
+  EXPECT_EQ(col.size(), 1001u);
+  EXPECT_TRUE(col.CheckInvariants());
+  EXPECT_EQ(col.stats().merged_inserts.load(), 1u);
+}
+
+TEST(RippleMerge, InsertPreservesBoundariesAndCounts) {
+  const auto base = MakeUniform(20000, 10000, 2);
+  CrackerColumn<int64_t> col("a", base);
+  // Crack into several pieces first.
+  col.SelectRange(1000, 2000);
+  col.SelectRange(4000, 7000);
+  col.SelectRange(9000, 9500);
+  const size_t pieces_before = col.NumPieces();
+
+  // Insert values across the whole domain.
+  Rng rng(3);
+  std::vector<int64_t> inserted;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = static_cast<int64_t>(rng.Below(10000));
+    inserted.push_back(v);
+    col.pending().AddInsert(v, 100000 + i);
+  }
+  col.MergePendingInRange(0, 10000);
+  EXPECT_EQ(col.size(), base.size() + inserted.size());
+  EXPECT_EQ(col.NumPieces(), pieces_before);  // merging adds no boundaries
+  EXPECT_TRUE(col.CheckInvariants());
+
+  // Counts must reflect base + inserted values.
+  auto count_in = [&](int64_t lo, int64_t hi) {
+    size_t c = 0;
+    for (int64_t v : base) c += (v >= lo && v < hi) ? 1 : 0;
+    for (int64_t v : inserted) c += (v >= lo && v < hi) ? 1 : 0;
+    return c;
+  };
+  EXPECT_EQ(col.SelectRange(1000, 2000).size(), count_in(1000, 2000));
+  EXPECT_EQ(col.SelectRange(0, 10000).size(), count_in(0, 10000));
+}
+
+TEST(RippleMerge, QueryTriggersMergeOfCoveredInsertsOnly) {
+  const auto base = MakeUniform(5000, 1000, 4);
+  CrackerColumn<int64_t> col("a", base);
+  col.pending().AddInsert(100, 9001);
+  col.pending().AddInsert(900, 9002);
+  // Query covering only the low insert.
+  col.SelectRange(50, 200);
+  EXPECT_EQ(col.stats().merged_inserts.load(), 1u);
+  EXPECT_EQ(col.pending().PendingInserts(), 1u);
+  // Now a query covering the rest.
+  col.SelectRange(800, 1000);
+  EXPECT_EQ(col.stats().merged_inserts.load(), 2u);
+  EXPECT_EQ(col.pending().PendingInserts(), 0u);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, DeleteRemovesExactlyOneRow) {
+  std::vector<int64_t> base = {5, 3, 8, 3, 9, 1};
+  CrackerColumn<int64_t> col("a", base);
+  col.SelectRange(3, 9);  // crack a bit
+  // Delete the value 3 with rowid 1 (the first 3).
+  col.pending().AddDelete(3, 1);
+  col.MergePendingInRange(0, 100);
+  EXPECT_EQ(col.size(), 5u);
+  EXPECT_EQ(col.stats().merged_deletes.load(), 1u);
+  EXPECT_EQ(col.SelectRange(3, 4).size(), 1u);  // one 3 remains
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, DeleteOfAbsentRowIsIgnored) {
+  CrackerColumn<int64_t> col("a", MakeUniform(1000, 100, 5));
+  col.pending().AddDelete(50, 999999);  // rowid never existed
+  col.MergePendingInRange(0, 100);
+  EXPECT_EQ(col.size(), 1000u);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, InsertThenDeleteRoundTrip) {
+  const auto base = MakeUniform(3000, 500, 6);
+  CrackerColumn<int64_t> col("a", base);
+  col.SelectRange(100, 400);
+  const size_t count_before = col.SelectRange(200, 210).size();
+  col.pending().AddInsert(205, 7777);
+  col.MergePendingInRange(200, 210);
+  EXPECT_EQ(col.SelectRange(200, 210).size(), count_before + 1);
+  col.pending().AddDelete(205, 7777);
+  col.MergePendingInRange(200, 210);
+  EXPECT_EQ(col.SelectRange(200, 210).size(), count_before);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, WorkerRefinementMergesPendingUpdates) {
+  const auto base = MakeUniform(50000, 10000, 7);
+  CrackerColumn<int64_t> col("a", base);
+  for (int i = 0; i < 50; ++i) {
+    col.pending().AddInsert(i * 200 + 7, 200000 + i);
+  }
+  // Worker refinements at random pivots must merge the pending inserts of
+  // the pieces they touch (§4.2: workers bring indices up to date).
+  Rng rng(8);
+  for (int i = 0; i < 200; ++i) {
+    col.TryRefineAt(static_cast<int64_t>(rng.Below(10000)));
+  }
+  EXPECT_GT(col.stats().merged_inserts.load(), 0u);
+  EXPECT_TRUE(col.CheckInvariants());
+  // Everything still countable: total = base + still-pending + merged.
+  const size_t merged = col.stats().merged_inserts.load();
+  EXPECT_EQ(col.size(), base.size() + merged);
+}
+
+TEST(RippleMerge, ManyPiecesManyInserts) {
+  const auto base = MakeUniform(30000, 1 << 16, 9);
+  CrackerColumn<int64_t> col("a", base);
+  Rng rng(10);
+  for (int i = 0; i < 300; ++i) {
+    col.TryRefineAt(static_cast<int64_t>(rng.Below(1 << 16)));
+  }
+  const size_t pieces = col.NumPieces();
+  for (int i = 0; i < 1000; ++i) {
+    col.pending().AddInsert(static_cast<int64_t>(rng.Below(1 << 16)),
+                            500000 + i);
+  }
+  col.MergePendingInRange(0, 1 << 16);
+  EXPECT_EQ(col.size(), base.size() + 1000);
+  EXPECT_EQ(col.NumPieces(), pieces);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace holix

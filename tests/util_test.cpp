@@ -1,0 +1,198 @@
+/// Tests for the utility substrate: RNG determinism and uniformity, Zipf
+/// skew, latches, sample statistics, cache-size override, env knobs.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/cache_info.h"
+#include "util/env.h"
+#include "util/latch.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/timer.h"
+#include "util/zipf.h"
+
+namespace holix {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next()) ? 1 : 0;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.Below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.Below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.Range(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Zipf, Theta0IsUniformish) {
+  ZipfGenerator z(10, 0.0);
+  Rng rng(1);
+  int counts[10] = {0};
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 600);
+}
+
+TEST(Zipf, HighThetaConcentratesOnLowRanks) {
+  ZipfGenerator z(10, 1.5);
+  Rng rng(2);
+  int counts[10] = {0};
+  for (int i = 0; i < 50000; ++i) ++counts[z.Sample(rng)];
+  EXPECT_GT(counts[0], counts[9] * 5);
+  EXPECT_GT(counts[0], counts[1]);
+}
+
+TEST(RwSpinLatch, ExclusiveWrite) {
+  RwSpinLatch latch;
+  latch.LockWrite();
+  EXPECT_FALSE(latch.TryLockWrite());
+  latch.UnlockWrite();
+  EXPECT_TRUE(latch.TryLockWrite());
+  latch.UnlockWrite();
+}
+
+TEST(RwSpinLatch, ReadersBlockWriters) {
+  RwSpinLatch latch;
+  latch.LockRead();
+  latch.LockRead();  // shared: fine
+  EXPECT_FALSE(latch.TryLockWrite());
+  latch.UnlockRead();
+  EXPECT_FALSE(latch.TryLockWrite());
+  latch.UnlockRead();
+  EXPECT_TRUE(latch.TryLockWrite());
+  latch.UnlockWrite();
+}
+
+TEST(RwSpinLatch, CounterUnderContention) {
+  RwSpinLatch latch;
+  int64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIncrements; ++i) {
+        WriteGuard g(latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIncrements);
+}
+
+TEST(SampleStats, BasicMoments) {
+  SampleStats s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 4.0);
+  EXPECT_NEAR(s.Stddev(), 1.118, 0.001);
+}
+
+TEST(SampleStats, Percentiles) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+}
+
+TEST(SampleStats, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  EXPECT_EQ(s.Stddev(), 0.0);
+}
+
+TEST(CacheInfo, DetectsPositiveSize) {
+  OverrideL1DataCacheBytes(0);
+  EXPECT_GT(L1DataCacheBytes(), 0u);
+  EXPECT_GT(L1Elements(8), 0u);
+}
+
+TEST(CacheInfo, OverrideWorks) {
+  OverrideL1DataCacheBytes(4096);
+  EXPECT_EQ(L1DataCacheBytes(), 4096u);
+  EXPECT_EQ(L1Elements(8), 512u);
+  OverrideL1DataCacheBytes(0);
+}
+
+TEST(Env, DoubleAndIntParsing) {
+  ::setenv("HOLIX_TEST_D", "2.5", 1);
+  ::setenv("HOLIX_TEST_I", "77", 1);
+  ::setenv("HOLIX_TEST_BAD", "xyz", 1);
+  EXPECT_DOUBLE_EQ(EnvDouble("HOLIX_TEST_D", 1.0), 2.5);
+  EXPECT_EQ(EnvInt("HOLIX_TEST_I", 0), 77);
+  EXPECT_DOUBLE_EQ(EnvDouble("HOLIX_TEST_BAD", 9.0), 9.0);
+  EXPECT_DOUBLE_EQ(EnvDouble("HOLIX_TEST_UNSET_VAR", 3.0), 3.0);
+  ::unsetenv("HOLIX_TEST_D");
+  ::unsetenv("HOLIX_TEST_I");
+  ::unsetenv("HOLIX_TEST_BAD");
+}
+
+TEST(Env, ScaledSizeRespectsScale) {
+  ::setenv("HOLIX_SCALE", "0.5", 1);
+  EXPECT_EQ(ScaledSize(1 << 20, 1), (1u << 20) / 2);
+  ::setenv("HOLIX_SCALE", "0.000001", 1);
+  EXPECT_EQ(ScaledSize(1 << 20, 4096), 4096u);  // floor applies
+  ::unsetenv("HOLIX_SCALE");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.ElapsedSeconds(), 0.015);
+  EXPECT_GE(t.ElapsedMicros(), 15000);
+  t.Restart();
+  EXPECT_LT(t.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace holix

@@ -1,0 +1,183 @@
+/// Tests for workload generation: pattern shapes (Fig. 10), attribute
+/// skew, selectivity control, determinism, and update interleavings.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "workload/workload.h"
+
+namespace holix {
+namespace {
+
+WorkloadSpec BaseSpec(QueryPattern p) {
+  WorkloadSpec s;
+  s.num_queries = 2000;
+  s.num_attributes = 10;
+  s.domain = 1 << 30;
+  s.pattern = p;
+  s.selectivity = 0.001;
+  s.seed = 77;
+  return s;
+}
+
+TEST(Workload, Deterministic) {
+  const auto a = GenerateWorkload(BaseSpec(QueryPattern::kRandom));
+  const auto b = GenerateWorkload(BaseSpec(QueryPattern::kRandom));
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].low, b[i].low);
+    ASSERT_EQ(a[i].attr, b[i].attr);
+  }
+}
+
+TEST(Workload, BoundsWithinDomain) {
+  for (QueryPattern p :
+       {QueryPattern::kRandom, QueryPattern::kSkewed, QueryPattern::kPeriodic,
+        QueryPattern::kSequential, QueryPattern::kSkyServer}) {
+    const auto spec = BaseSpec(p);
+    for (const auto& q : GenerateWorkload(spec)) {
+      ASSERT_GE(q.low, 0);
+      ASSERT_LT(q.low, spec.domain);
+      ASSERT_GT(q.high, q.low);
+      ASSERT_LE(q.high, spec.domain);
+      ASSERT_LT(q.attr, spec.num_attributes);
+    }
+  }
+}
+
+TEST(Workload, SelectivityControlsWidth) {
+  auto spec = BaseSpec(QueryPattern::kRandom);
+  spec.selectivity = 0.01;
+  const int64_t expected = spec.domain / 100;
+  for (const auto& q : GenerateWorkload(spec)) {
+    ASSERT_LE(q.high - q.low, expected);
+  }
+}
+
+TEST(Workload, RandomSelectivityWhenZero) {
+  auto spec = BaseSpec(QueryPattern::kRandom);
+  spec.selectivity = 0;
+  int64_t max_width = 0;
+  for (const auto& q : GenerateWorkload(spec)) {
+    max_width = std::max(max_width, q.high - q.low);
+  }
+  EXPECT_GT(max_width, spec.domain / 10);  // random widths include big ones
+}
+
+TEST(Workload, SkewedPatternConcentratesHigh) {
+  const auto queries = GenerateWorkload(BaseSpec(QueryPattern::kSkewed));
+  for (const auto& q : queries) {
+    ASSERT_GE(q.low, (int64_t{1} << 30) - (int64_t{1} << 30) / 5);
+  }
+}
+
+TEST(Workload, SequentialPatternIsMonotone) {
+  const auto queries = GenerateWorkload(BaseSpec(QueryPattern::kSequential));
+  for (size_t i = 1; i < queries.size(); ++i) {
+    ASSERT_LE(queries[i - 1].low, queries[i].low);
+  }
+}
+
+TEST(Workload, PeriodicPatternRepeats) {
+  auto spec = BaseSpec(QueryPattern::kPeriodic);
+  const auto queries = GenerateWorkload(spec);
+  const size_t period = spec.num_queries / 10;
+  for (size_t i = 0; i + period < queries.size(); i += 37) {
+    ASSERT_EQ(queries[i].low, queries[i + period].low);
+  }
+}
+
+TEST(Workload, SkyServerDwellsInRegions) {
+  const auto queries = GenerateWorkload(BaseSpec(QueryPattern::kSkyServer));
+  // Consecutive queries should usually be near each other (dwell), but the
+  // full trace must cover a wide portion of the domain (jumps).
+  size_t near = 0;
+  int64_t min_pos = queries[0].low, max_pos = queries[0].low;
+  for (size_t i = 1; i < queries.size(); ++i) {
+    if (std::abs(queries[i].low - queries[i - 1].low) <
+        (int64_t{1} << 30) / 32) {
+      ++near;
+    }
+    min_pos = std::min(min_pos, queries[i].low);
+    max_pos = std::max(max_pos, queries[i].low);
+  }
+  EXPECT_GT(near, queries.size() * 3 / 4);          // mostly local
+  EXPECT_GT(max_pos - min_pos, (int64_t{1} << 30) / 2);  // but wide overall
+}
+
+TEST(Workload, SkewedAttributesFollowZipf) {
+  auto spec = BaseSpec(QueryPattern::kRandom);
+  spec.skewed_attributes = true;
+  spec.attribute_zipf_theta = 1.2;
+  std::map<size_t, size_t> counts;
+  for (const auto& q : GenerateWorkload(spec)) ++counts[q.attr];
+  EXPECT_GT(counts[0], counts[9] * 2);
+}
+
+TEST(Workload, UniformColumnProperties) {
+  const auto col = GenerateUniformColumn(100000, 1 << 20, 3);
+  EXPECT_EQ(col.size(), 100000u);
+  int64_t mn = col[0], mx = col[0];
+  for (int64_t v : col) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1 << 20);
+  }
+  EXPECT_LT(mn, (1 << 20) / 100);        // covers the low end
+  EXPECT_GT(mx, (1 << 20) * 99 / 100);   // and the high end
+}
+
+TEST(UpdateWorkload, HflvShape) {
+  const auto ops = GenerateUpdateWorkload(
+      UpdateScenario::kHighFrequencyLowVolume, 100, 1 << 20, 0.5, 9);
+  size_t queries = 0, inserts = 0, idles = 0;
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case WorkloadOp::Kind::kQuery:
+        ++queries;
+        break;
+      case WorkloadOp::Kind::kInsert:
+        ++inserts;
+        break;
+      case WorkloadOp::Kind::kIdle:
+        ++idles;
+        break;
+    }
+  }
+  EXPECT_EQ(queries, 100u);
+  EXPECT_EQ(inserts, 100u);
+  EXPECT_EQ(idles, 1u);
+  // Batches of 10 inserts after every 10 queries.
+  size_t run_queries = 0;
+  for (const auto& op : ops) {
+    if (op.kind == WorkloadOp::Kind::kQuery) ++run_queries;
+    if (op.kind == WorkloadOp::Kind::kInsert) {
+      ASSERT_EQ(run_queries % 10, 0u);
+    }
+  }
+}
+
+TEST(UpdateWorkload, LfhvBatchesAre100) {
+  const auto ops = GenerateUpdateWorkload(
+      UpdateScenario::kLowFrequencyHighVolume, 200, 1 << 20, 0, 10);
+  // First insert appears only after 100 queries.
+  size_t seen_queries = 0;
+  for (const auto& op : ops) {
+    if (op.kind == WorkloadOp::Kind::kQuery) ++seen_queries;
+    if (op.kind == WorkloadOp::Kind::kInsert) {
+      EXPECT_GE(seen_queries, 100u);
+      break;
+    }
+  }
+}
+
+TEST(Workload, PatternNames) {
+  EXPECT_STREQ(QueryPatternName(QueryPattern::kRandom), "Random");
+  EXPECT_STREQ(QueryPatternName(QueryPattern::kSkyServer), "SkyServer");
+}
+
+}  // namespace
+}  // namespace holix
