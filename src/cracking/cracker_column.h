@@ -83,18 +83,22 @@ class CrackerColumn {
   /// Attribute name this index covers.
   const std::string& name() const { return name_; }
 
-  /// Number of rows.
-  size_t size() const { return values_.size(); }
+  /// Number of rows. Lock-free snapshot: Ripple merges grow/shrink the
+  /// column under the exclusive latch, so unlatched readers (statistics,
+  /// Equation-1 distance) need this mirror rather than values_.size().
+  size_t size() const { return row_count_.load(std::memory_order_relaxed); }
 
   /// Number of pieces (boundaries + 1). Lock-free snapshot.
   size_t NumPieces() const {
     return num_boundaries_.load(std::memory_order_relaxed) + 1;
   }
 
-  /// Smallest base value (meaningful only when size() > 0).
-  T MinValue() const { return min_value_; }
-  /// Largest base value.
-  T MaxValue() const { return max_value_; }
+  /// Smallest base value (meaningful only when size() > 0). Lock-free
+  /// snapshot: Ripple merges widen the domain under the exclusive latch
+  /// while holistic workers read it unlatched.
+  T MinValue() const { return min_value_.load(std::memory_order_relaxed); }
+  /// Largest base value. Lock-free snapshot.
+  T MaxValue() const { return max_value_.load(std::memory_order_relaxed); }
 
   /// Mutable counters (updated by operations, read by holistic indexing).
   CrackStats& stats() { return stats_; }
@@ -129,8 +133,11 @@ class CrackerColumn {
   /// updates overlapping the range first (Ripple, [28]).
   PositionRange SelectRange(T low, T high, const CrackConfig& cfg = {}) {
     stats_.accesses.fetch_add(1, std::memory_order_relaxed);
-    if (low >= high || values_.empty()) return {0, 0};
+    if (low >= high) return {0, 0};
+    // Merge before the emptiness check: a column loaded empty can still
+    // have pending inserts in range, and they must become visible here.
     MergePendingInRange(low, high);
+    if (size() == 0) return {0, 0};
 
     ReadGuard column_guard(column_latch_);
     // Exact hit: both bounds already are boundaries -> no reorganization.
@@ -308,13 +315,18 @@ class CrackerColumn {
   /// Merges every pending insert/delete whose value lies in [low, high)
   /// into the cracker column without invalidating any boundary.
   void MergePendingInRange(T low, T high) {
-    if (pending_.PendingInserts() == 0 && pending_.PendingDeletes() == 0)
-      return;
+    // Cheap peek outside the column latch: long-lived out-of-range
+    // entries must not force every select onto the exclusive path.
+    if (!pending_.AnyInRange(low, high)) return;
+    // Take the exclusive column latch BEFORE draining the queues. Items
+    // must never sit outside both the queue and the column while readers
+    // can run: a concurrent query would see empty queues, early-return
+    // here, and count without the in-flight rows (lost-update window).
+    WriteGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
     auto ins = pending_.TakeInsertsInRange(low, high);
     auto del = pending_.TakeDeletesInRange(low, high);
     if (ins.empty() && del.empty()) return;
-    WriteGuard column_guard(column_latch_);
-    std::unique_lock<std::shared_mutex> lk(tree_mu_);
     auto nodes = index_.CollectBoundaries();
     for (const auto& [v, rid] : ins) RippleInsert(nodes, v, rid);
     for (const auto& [v, rid] : del) RippleDelete(nodes, v, rid);
@@ -406,10 +418,11 @@ class CrackerColumn {
 
  private:
   void InitDomain() {
+    row_count_.store(values_.size(), std::memory_order_relaxed);
     if (!values_.empty()) {
       auto [mn, mx] = std::minmax_element(values_.begin(), values_.end());
-      min_value_ = *mn;
-      max_value_ = *mx;
+      min_value_.store(*mn, std::memory_order_relaxed);
+      max_value_.store(*mx, std::memory_order_relaxed);
     }
   }
 
@@ -559,8 +572,18 @@ class CrackerColumn {
     }
     values_[hole] = v;
     rowids_[hole] = rid;
-    if (v < min_value_) min_value_ = v;
-    if (v > max_value_) max_value_ = v;
+    row_count_.store(values_.size(), std::memory_order_relaxed);
+    if (values_.size() == 1) {
+      // First row of a column loaded empty: seed the domain rather than
+      // widening from the T{} sentinel.
+      min_value_.store(v, std::memory_order_relaxed);
+      max_value_.store(v, std::memory_order_relaxed);
+    } else {
+      if (v < min_value_.load(std::memory_order_relaxed))
+        min_value_.store(v, std::memory_order_relaxed);
+      if (v > max_value_.load(std::memory_order_relaxed))
+        max_value_.store(v, std::memory_order_relaxed);
+    }
   }
 
   /// Ripple-deletes the row (v, rid). Returns silently when absent (the
@@ -601,6 +624,7 @@ class CrackerColumn {
     }
     values_.pop_back();
     rowids_.pop_back();
+    row_count_.store(values_.size(), std::memory_order_relaxed);
   }
 
   std::string name_;
@@ -612,11 +636,12 @@ class CrackerColumn {
   mutable std::shared_mutex tree_mu_;
   mutable RwSpinLatch column_latch_;
   std::atomic<size_t> num_boundaries_{0};
+  std::atomic<size_t> row_count_{0};
 
   PendingUpdates<T> pending_;
   CrackStats stats_;
-  T min_value_{};
-  T max_value_{};
+  std::atomic<T> min_value_{};
+  std::atomic<T> max_value_{};
 };
 
 using Int32CrackerColumn = CrackerColumn<int32_t>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <numeric>
 
 namespace holix {
@@ -35,6 +36,32 @@ void ReportTable::Print() const {
   for (size_t w : widths) total_width += w;
   std::printf("%s\n", std::string(total_width, '-').c_str());
   for (const auto& row : rows_) print_row(row);
+}
+
+bool ReportTable::SaveCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      const std::string& cell = row[c];
+      if (cell.find_first_of(",\"\n\r") != std::string::npos) {
+        out << '"';
+        for (char ch : cell) {
+          if (ch == '"') out << '"';
+          out << ch;
+        }
+        out << '"';
+      } else {
+        out << cell;
+      }
+    }
+    out << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  out.flush();
+  return out.good();
 }
 
 std::string FormatSeconds(double seconds) {

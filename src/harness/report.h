@@ -25,6 +25,10 @@ class ReportTable {
   /// Renders the table to stdout.
   void Print() const;
 
+  /// Writes the table (header + rows) as RFC-4180 CSV.
+  /// \return false when the file could not be opened or written.
+  bool SaveCsv(const std::string& path) const;
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -1,5 +1,6 @@
 #include "holistic/holistic_engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/timer.h"

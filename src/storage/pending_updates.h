@@ -26,25 +26,46 @@ class PendingUpdates {
   void AddInsert(T value, RowId rowid) {
     std::lock_guard<std::mutex> lk(mu_);
     inserts_.push_back({value, rowid});
+    ins_bounds_.Widen(value);
   }
 
   /// Parks a deletion of (value, rowid).
   void AddDelete(T value, RowId rowid) {
     std::lock_guard<std::mutex> lk(mu_);
     deletes_.push_back({value, rowid});
+    del_bounds_.Widen(value);
   }
 
   /// Extracts (removes and returns) every pending insert whose value lies
   /// in [low, high).
   std::vector<std::pair<T, RowId>> TakeInsertsInRange(T low, T high) {
     std::lock_guard<std::mutex> lk(mu_);
-    return TakeRangeLocked(inserts_, low, high);
+    auto taken = TakeRangeLocked(inserts_, low, high);
+    if (inserts_.empty()) ins_bounds_.Reset();
+    return taken;
   }
 
   /// Extracts every pending delete whose value lies in [low, high).
   std::vector<std::pair<T, RowId>> TakeDeletesInRange(T low, T high) {
     std::lock_guard<std::mutex> lk(mu_);
-    return TakeRangeLocked(deletes_, low, high);
+    auto taken = TakeRangeLocked(deletes_, low, high);
+    if (deletes_.empty()) del_bounds_.Reset();
+    return taken;
+  }
+
+  /// True when any pending insert or delete may fall in [low, high). Cheap
+  /// peek so merge paths can skip exclusive latching when nothing in the
+  /// queues concerns their range. Conservative value bounds reject the
+  /// common disjoint case in O(1); only overlapping ranges pay the scan.
+  bool AnyInRange(T low, T high) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto in_range = [&](const std::pair<T, RowId>& p) {
+      return p.first >= low && p.first < high;
+    };
+    return (ins_bounds_.Overlaps(low, high) &&
+            std::any_of(inserts_.begin(), inserts_.end(), in_range)) ||
+           (del_bounds_.Overlaps(low, high) &&
+            std::any_of(deletes_.begin(), deletes_.end(), in_range));
   }
 
   /// Number of pending insertions.
@@ -60,6 +81,28 @@ class PendingUpdates {
   }
 
  private:
+  /// Conservative min/max of a queue's values: widened on every Add, reset
+  /// only when the queue drains (so it may be wider than the live contents
+  /// — a false positive costs one scan, never a missed merge).
+  struct Bounds {
+    bool any = false;
+    T min{};
+    T max{};
+    void Widen(T v) {
+      if (!any) {
+        any = true;
+        min = max = v;
+      } else {
+        if (v < min) min = v;
+        if (v > max) max = v;
+      }
+    }
+    void Reset() { any = false; }
+    bool Overlaps(T low, T high) const {
+      return any && min < high && max >= low;
+    }
+  };
+
   static std::vector<std::pair<T, RowId>> TakeRangeLocked(
       std::vector<std::pair<T, RowId>>& queue, T low, T high) {
     std::vector<std::pair<T, RowId>> taken;
@@ -78,6 +121,8 @@ class PendingUpdates {
   mutable std::mutex mu_;
   std::vector<std::pair<T, RowId>> inserts_;
   std::vector<std::pair<T, RowId>> deletes_;
+  Bounds ins_bounds_;
+  Bounds del_bounds_;
 };
 
 }  // namespace holix

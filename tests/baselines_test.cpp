@@ -8,23 +8,14 @@
 #include "baselines/full_scan.h"
 #include "baselines/sorted_index.h"
 #include "cracking/pre_crack.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace holix {
 namespace {
 
-std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int64_t> v(n);
-  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
-  return v;
-}
-
-size_t NaiveCount(const std::vector<int64_t>& v, int64_t lo, int64_t hi) {
-  size_t c = 0;
-  for (int64_t x : v) c += (x >= lo && x < hi) ? 1 : 0;
-  return c;
-}
+using test::MakeUniform;
+using test::NaiveCount;
 
 class ScanThreadsTest : public ::testing::TestWithParam<size_t> {};
 

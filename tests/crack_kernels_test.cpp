@@ -7,8 +7,10 @@
 #include <numeric>
 #include <vector>
 
+#include "cracking/crack_config.h"
 #include "cracking/crack_kernels.h"
 #include "cracking/parallel_crack.h"
+#include "test_support.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -202,6 +204,121 @@ TEST(ParallelKernel, SubrangePreservesOutside) {
   for (size_t i = hi; i < in.values.size(); ++i)
     ASSERT_EQ(in.values[i], original.values[i]);
 }
+
+// --- Boundary cases, for each CrackAlgo ---------------------------------
+
+/// Runs the two-way crack of [lo, hi) with the kernel behind \p algo.
+size_t RunCrack(CrackAlgo algo, KernelInput& in, size_t lo, size_t hi,
+                int64_t pivot) {
+  switch (algo) {
+    case CrackAlgo::kScalar:
+      return CrackInTwoScalar(in.values.data(), lo, hi, pivot,
+                              [&](size_t i, size_t j) {
+                                std::swap(in.values[i], in.values[j]);
+                                std::swap(in.ids[i], in.ids[j]);
+                              });
+    case CrackAlgo::kOutOfPlace: {
+      CrackScratch<int64_t> scratch;
+      return CrackInTwoOutOfPlace(in.values.data(), in.ids.data(), lo, hi,
+                                  pivot, scratch);
+    }
+    case CrackAlgo::kParallel: {
+      ThreadPool pool(4);
+      return ParallelCrackInTwo(in.values.data(), in.ids.data(), lo, hi,
+                                pivot, pool, 4, /*min_parallel_piece=*/64);
+    }
+  }
+  ADD_FAILURE() << "unknown CrackAlgo";
+  return lo;
+}
+
+class CrackAlgoBoundaryTest : public ::testing::TestWithParam<CrackAlgo> {};
+
+TEST_P(CrackAlgoBoundaryTest, EmptyPieceIsANoOp) {
+  const KernelInput original = MakeInput(100, 1000, 17);
+  KernelInput in = original;
+  // lo == hi in the middle of live data: nothing may move.
+  const size_t cut = RunCrack(GetParam(), in, 50, 50, 500);
+  EXPECT_EQ(cut, 50u);
+  EXPECT_EQ(in.values, original.values);
+  EXPECT_EQ(in.ids, original.ids);
+}
+
+TEST_P(CrackAlgoBoundaryTest, SingleElementPiece) {
+  for (const int64_t value : {int64_t{10}, int64_t{500}}) {
+    for (const int64_t pivot : {int64_t{10}, int64_t{11}, int64_t{499}}) {
+      KernelInput in;
+      in.values = {value};
+      in.ids = {0};
+      const size_t cut = RunCrack(GetParam(), in, 0, 1, pivot);
+      EXPECT_EQ(cut, value < pivot ? 1u : 0u)
+          << "value=" << value << " pivot=" << pivot;
+      EXPECT_EQ(in.values[0], value);
+      EXPECT_EQ(in.ids[0], 0u);
+    }
+  }
+}
+
+TEST_P(CrackAlgoBoundaryTest, AllEqualKeys) {
+  const size_t n = 1024;
+  KernelInput original;
+  original.values = test::MakeAllEqual(n, 42);
+  original.ids.resize(n);
+  for (size_t i = 0; i < n; ++i) original.ids[i] = i;
+  struct Case {
+    int64_t pivot;
+    size_t expected_cut;
+  };
+  for (const Case c : {Case{42, 0}, Case{43, n}, Case{41, 0}}) {
+    KernelInput in = original;
+    const size_t cut = RunCrack(GetParam(), in, 0, n, c.pivot);
+    EXPECT_EQ(cut, c.expected_cut) << "pivot=" << c.pivot;
+    CheckTwoWay(original, in, cut, c.pivot);
+  }
+}
+
+TEST_P(CrackAlgoBoundaryTest, PivotOutsideValueRange) {
+  const KernelInput original = MakeInput(4096, 1000, 23);
+  KernelInput in = original;
+  // Below every value: cut at lo, nothing qualifies as "< pivot".
+  size_t cut = RunCrack(GetParam(), in, 0, in.values.size(), -7);
+  EXPECT_EQ(cut, 0u);
+  CheckTwoWay(original, in, cut, -7);
+  // Above every value: cut at hi, everything is "< pivot".
+  cut = RunCrack(GetParam(), in, 0, in.values.size(), 10000);
+  EXPECT_EQ(cut, in.values.size());
+  CheckTwoWay(original, in, cut, 10000);
+}
+
+TEST_P(CrackAlgoBoundaryTest, SubrangeBoundariesUntouched) {
+  const KernelInput original = MakeInput(2048, 1000, 29);
+  KernelInput in = original;
+  const size_t lo = 512, hi = 1536;
+  const size_t cut = RunCrack(GetParam(), in, lo, hi, 500);
+  EXPECT_GE(cut, lo);
+  EXPECT_LE(cut, hi);
+  for (size_t i = 0; i < lo; ++i) ASSERT_EQ(in.values[i], original.values[i]);
+  for (size_t i = hi; i < in.values.size(); ++i)
+    ASSERT_EQ(in.values[i], original.values[i]);
+  for (size_t i = lo; i < cut; ++i) ASSERT_LT(in.values[i], 500);
+  for (size_t i = cut; i < hi; ++i) ASSERT_GE(in.values[i], 500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, CrackAlgoBoundaryTest,
+                         ::testing::Values(CrackAlgo::kScalar,
+                                           CrackAlgo::kOutOfPlace,
+                                           CrackAlgo::kParallel),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CrackAlgo::kScalar:
+                               return "Scalar";
+                             case CrackAlgo::kOutOfPlace:
+                               return "OutOfPlace";
+                             case CrackAlgo::kParallel:
+                               return "Parallel";
+                           }
+                           return "Unknown";
+                         });
 
 }  // namespace
 }  // namespace holix

@@ -8,19 +8,16 @@
 
 #include "engine/database.h"
 #include "harness/runner.h"
+#include "test_support.h"
 #include "workload/workload.h"
 
 namespace holix {
 namespace {
 
+using test::NaiveCount;
+
 constexpr int64_t kDomain = 1 << 20;
 constexpr size_t kRows = 100000;
-
-size_t NaiveCount(const std::vector<int64_t>& v, int64_t lo, int64_t hi) {
-  size_t c = 0;
-  for (int64_t x : v) c += (x >= lo && x < hi) ? 1 : 0;
-  return c;
-}
 
 class ExecModeTest : public ::testing::TestWithParam<ExecMode> {};
 

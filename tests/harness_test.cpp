@@ -3,12 +3,40 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "engine/database.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "test_support.h"
 
 namespace holix {
 namespace {
+
+using ReportCsvTest = test::TempDirTest;
+
+TEST_F(ReportCsvTest, SaveCsvRoundTripsCellsAndQuoting) {
+  ReportTable table("t");
+  table.SetHeader({"name", "value"});
+  table.AddRow({"plain", "1"});
+  table.AddRow({"comma,cell", "quote\"cell"});
+  const auto path = TempPath("table.csv");
+  ASSERT_TRUE(table.SaveCsv(path.string()));
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"comma,cell\",\"quote\"\"cell\"\n");
+}
+
+TEST_F(ReportCsvTest, SaveCsvFailsOnUnwritablePath) {
+  ReportTable table("t");
+  table.SetHeader({"a"});
+  EXPECT_FALSE(table.SaveCsv((temp_dir() / "no_dir" / "x.csv").string()));
+}
 
 TEST(ResponseSeries, TotalsAndCumulative) {
   ResponseSeries s;

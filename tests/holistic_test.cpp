@@ -5,7 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "holistic/adaptive_index.h"
 #include "holistic/cpu_monitor.h"
@@ -13,25 +16,16 @@
 #include "holistic/mutable_heap.h"
 #include "holistic/stats_store.h"
 #include "holistic/strategy.h"
+#include "test_support.h"
 #include "util/cache_info.h"
 #include "util/rng.h"
 
 namespace holix {
 namespace {
 
-std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int64_t> v(n);
-  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
-  return v;
-}
-
-std::shared_ptr<CrackerAdaptiveIndex<int64_t>> MakeIndex(
-    const std::string& name, size_t rows = 10000, uint64_t seed = 1) {
-  auto col = std::make_shared<CrackerColumn<int64_t>>(
-      name, MakeUniform(rows, 1 << 20, seed));
-  return std::make_shared<CrackerAdaptiveIndex<int64_t>>(col);
-}
+using test::DriveUntil;
+using test::MakeIndex;
+using test::WaitForProgress;
 
 // --- MutableMaxHeap -----------------------------------------------------
 
@@ -336,12 +330,103 @@ TEST(HolisticEngine, StartStopLifecycle) {
   engine.Start();
   EXPECT_TRUE(engine.IsRunning());
   engine.Start();  // idempotent
-  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_TRUE(
+      WaitForProgress([&] { return engine.TotalWorkerCracks() > 0; }));
   engine.Stop();
   EXPECT_FALSE(engine.IsRunning());
   engine.Stop();  // idempotent
   EXPECT_GT(engine.TotalWorkerCracks(), 0u);
   EXPECT_TRUE(idx->column()->CheckInvariants());
+}
+
+TEST(HolisticEngine, StartStopRepeatedlyStaysConsistent) {
+  // A 1-element "L1" makes the optimal state unreachable in this test, so
+  // every round is guaranteed to have refinement work left.
+  OverrideL1DataCacheBytes(8);
+  HolisticConfig cfg;
+  cfg.monitor_interval_seconds = 0.0005;
+  HolisticEngine engine(cfg, std::make_unique<SlotCpuMonitor>(4, 0.0005));
+  auto idx = MakeIndex("r.a", 400000);
+  engine.store().Register(idx, ConfigKind::kActual);
+  for (int round = 0; round < 5; ++round) {
+    const uint64_t before = engine.TotalRefinementSteps();
+    engine.Start();
+    engine.Start();  // repeated Start must be a no-op, not a second thread
+    EXPECT_TRUE(engine.IsRunning());
+    EXPECT_TRUE(WaitForProgress(
+        [&] { return engine.TotalRefinementSteps() > before; }));
+    engine.Stop();
+    engine.Stop();  // repeated Stop must be a no-op
+    EXPECT_FALSE(engine.IsRunning());
+  }
+  EXPECT_TRUE(idx->column()->CheckInvariants());
+  OverrideL1DataCacheBytes(0);
+}
+
+TEST(HolisticEngine, StopJoinsInFlightWorkers) {
+  // Stop() while workers are mid-refinement must wait for the cycle, not
+  // abandon threads; immediately after Stop() no further steps may land.
+  HolisticConfig cfg;
+  cfg.max_workers = 4;
+  cfg.refinements_per_worker = 64;
+  cfg.monitor_interval_seconds = 0.0;
+  HolisticEngine engine(cfg, std::make_unique<SlotCpuMonitor>(8, 0.0));
+  auto idx = MakeIndex("r.a", 500000);
+  engine.store().Register(idx, ConfigKind::kActual);
+  engine.Start();
+  // Stop as soon as the first workers are provably in flight.
+  EXPECT_TRUE(
+      WaitForProgress([&] { return engine.TotalRefinementSteps() > 0; }));
+  engine.Stop();
+  EXPECT_FALSE(engine.IsRunning());
+  const uint64_t steps_at_stop = engine.TotalRefinementSteps();
+  const uint64_t cracks_at_stop = engine.TotalWorkerCracks();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(engine.TotalRefinementSteps(), steps_at_stop);
+  EXPECT_EQ(engine.TotalWorkerCracks(), cracks_at_stop);
+  EXPECT_TRUE(idx->column()->CheckInvariants());
+}
+
+TEST(HolisticEngine, DestructorStopsRunningEngine) {
+  auto idx = MakeIndex("r.a", 200000);
+  {
+    HolisticConfig cfg;
+    cfg.monitor_interval_seconds = 0.0005;
+    HolisticEngine engine(cfg, std::make_unique<SlotCpuMonitor>(4, 0.0005));
+    engine.store().Register(idx, ConfigKind::kActual);
+    engine.Start();
+    EXPECT_TRUE(
+        WaitForProgress([&] { return engine.TotalRefinementSteps() > 0; }));
+    // No Stop(): ~HolisticEngine must join the tuning thread itself.
+  }
+  EXPECT_TRUE(idx->column()->CheckInvariants());
+}
+
+TEST(HolisticEngine, ActivatesFloorIdleOverZWorkers) {
+  // One deterministic cycle per (idle count, z): the engine must activate
+  // exactly min(max_workers, floor(idle / z)) workers (§4.2).
+  for (const size_t z : {size_t{1}, size_t{2}, size_t{3}}) {
+    for (size_t idle = 0; idle <= 8; ++idle) {
+      HolisticConfig cfg;
+      cfg.max_workers = 4;
+      cfg.threads_per_worker = z;
+      cfg.refinements_per_worker = 2;
+      cfg.monitor_interval_seconds = 0.0;
+      auto monitor = std::make_unique<SlotCpuMonitor>(8, 0.0);
+      monitor->Acquire(8 - idle);
+      HolisticEngine engine(cfg, std::move(monitor));
+      engine.store().Register(MakeIndex("r.a", 4000), ConfigKind::kActual);
+      const size_t expected = std::min<size_t>(cfg.max_workers, idle / z);
+      EXPECT_EQ(engine.RunOneCycle(), expected)
+          << "idle=" << idle << " z=" << z;
+      if (expected == 0) {
+        EXPECT_TRUE(engine.Activations().empty());
+      } else {
+        ASSERT_EQ(engine.Activations().size(), 1u);
+        EXPECT_EQ(engine.Activations()[0].workers, expected);
+      }
+    }
+  }
 }
 
 TEST(HolisticEngine, RefinesUntilOptimalAndRetires) {
@@ -353,10 +438,10 @@ TEST(HolisticEngine, RefinesUntilOptimalAndRetires) {
   HolisticEngine engine(cfg, std::make_unique<SlotCpuMonitor>(8, 0.0));
   auto idx = MakeIndex("r.a", 20000);
   engine.store().Register(idx, ConfigKind::kActual);
-  for (int i = 0; i < 200 && engine.store().Count(ConfigKind::kOptimal) == 0;
-       ++i) {
-    engine.RunOneCycle();
-  }
+  EXPECT_TRUE(DriveUntil(
+      engine,
+      [&] { return engine.store().Count(ConfigKind::kOptimal) > 0; },
+      /*max_cycles=*/200));
   EXPECT_EQ(engine.store().Count(ConfigKind::kOptimal), 1u);
   EXPECT_TRUE(idx->IsOptimal());
   EXPECT_TRUE(idx->column()->CheckInvariants());

@@ -8,17 +8,13 @@
 #include "holistic/adaptive_index.h"
 #include "holistic/pivot_policy.h"
 #include "util/cache_info.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace holix {
 namespace {
 
-std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int64_t> v(n);
-  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
-  return v;
-}
+using test::MakeUniform;
 
 TEST(PivotPolicy, Names) {
   EXPECT_STREQ(PivotPolicyName(PivotPolicy::kRandom), "random");

@@ -5,23 +5,14 @@
 #include <gtest/gtest.h>
 
 #include "cracking/cracker_column.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace holix {
 namespace {
 
-std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int64_t> v(n);
-  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
-  return v;
-}
-
-size_t NaiveCount(const std::vector<int64_t>& v, int64_t lo, int64_t hi) {
-  size_t c = 0;
-  for (int64_t x : v) c += (x >= lo && x < hi) ? 1 : 0;
-  return c;
-}
+using test::MakeUniform;
+using test::NaiveCount;
 
 CrackConfig StochasticConfig(Rng* rng, size_t min_piece = 1 << 12) {
   CrackConfig cfg;

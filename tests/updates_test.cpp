@@ -5,21 +5,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "cracking/cracker_column.h"
 #include "storage/pending_updates.h"
+#include "test_support.h"
 #include "util/rng.h"
 
 namespace holix {
 namespace {
 
-std::vector<int64_t> MakeUniform(size_t n, int64_t domain, uint64_t seed) {
-  Rng rng(seed);
-  std::vector<int64_t> v(n);
-  for (auto& x : v) x = static_cast<int64_t>(rng.Below(domain));
-  return v;
-}
+using test::MakeUniform;
 
 TEST(PendingUpdates, TakeInsertsFiltersByRange) {
   PendingUpdates<int64_t> p;
@@ -170,6 +168,55 @@ TEST(RippleMerge, ManyPiecesManyInserts) {
   col.MergePendingInRange(0, 1 << 16);
   EXPECT_EQ(col.size(), base.size() + 1000);
   EXPECT_EQ(col.NumPieces(), pieces);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, PendingInsertsIntoEmptyColumnBecomeVisible) {
+  // A column loaded with zero rows must still surface pending inserts:
+  // the select path merges before its emptiness check.
+  CrackerColumn<int64_t> col("a", std::vector<int64_t>{});
+  col.pending().AddInsert(5, 0);
+  col.pending().AddInsert(9, 1);
+  const PositionRange r = col.SelectRange(0, 100);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(col.size(), 2u);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(RippleMerge, ConcurrentWorkerMergeNeverLosesRows) {
+  // Regression: MergePendingInRange used to drain the pending queues
+  // before taking the exclusive column latch, so a query racing with a
+  // worker-side merge could see empty queues AND a column that did not
+  // yet hold the drained rows — and undercount. The drain now happens
+  // under the latch; the final count must always balance.
+  const int64_t domain = 1 << 16;
+  const size_t rows = 50000;
+  CrackerColumn<int64_t> col("a", MakeUniform(rows, domain, 11));
+  std::atomic<bool> stop{false};
+  std::thread worker([&] {
+    Rng rng(21);
+    while (!stop.load(std::memory_order_relaxed)) {
+      // Successful refinements merge pending updates around the piece,
+      // exactly like a holistic worker (TryRefineAt side-job).
+      col.TryRefineAt(static_cast<int64_t>(rng.Below(domain)));
+    }
+  });
+  Rng rng(31);
+  size_t expected = rows;
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      const int64_t v = static_cast<int64_t>(rng.Below(domain));
+      col.pending().AddInsert(v, static_cast<RowId>(rows + expected));
+      ++expected;
+    }
+    const int64_t lo = static_cast<int64_t>(rng.Below(domain));
+    col.SelectRange(lo, std::min<int64_t>(domain, lo + domain / 64));
+  }
+  stop.store(true);
+  worker.join();
+  const PositionRange full = col.SelectRange(0, domain);
+  EXPECT_EQ(full.size(), expected);
+  EXPECT_EQ(col.size(), expected);
   EXPECT_TRUE(col.CheckInvariants());
 }
 
