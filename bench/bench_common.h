@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -70,8 +71,14 @@ inline DatabaseOptions HolisticOptions(size_t user_threads, size_t workers,
 
 /// "uXwYxZ" label as used on the paper's bar charts.
 inline std::string SplitLabel(size_t u, size_t w, size_t z) {
-  std::string label = "u" + std::to_string(u);
-  if (w > 0) label += "w" + std::to_string(w) + "x" + std::to_string(z);
+  std::string label("u");
+  label += std::to_string(u);
+  if (w > 0) {
+    label += "w";
+    label += std::to_string(w);
+    label += "x";
+    label += std::to_string(z);
+  }
   return label;
 }
 
@@ -90,6 +97,22 @@ inline void PrintScaleNote(const BenchEnv& env, size_t num_attrs) {
   std::printf("# rows/attribute=%zu attrs=%zu queries=%zu cores=%zu "
               "(paper: 2^30 rows, 32 contexts; set HOLIX_SCALE to grow)\n",
               env.rows, num_attrs, env.queries, env.cores);
+}
+
+/// Machine-readable bench output: when `HOLIX_BENCH_JSON=<dir>` is set,
+/// writes the table as `<dir>/BENCH_<name>.json` so the perf trajectory of
+/// every figure is recordable (CI uploads these as artifacts).
+/// \return true when a file was written.
+inline bool SaveBenchJson(const ReportTable& t, const std::string& name) {
+  const char* dir = std::getenv("HOLIX_BENCH_JSON");
+  if (dir == nullptr || *dir == '\0') return false;
+  const std::string path = std::string(dir) + "/BENCH_" + name + ".json";
+  if (!t.SaveJson(path)) {
+    std::fprintf(stderr, "# failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::printf("# wrote %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace holix::bench

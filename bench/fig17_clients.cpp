@@ -54,6 +54,7 @@ int main() {
               SplitLabel(per_query, 0, 0), SplitLabel(u, w, z)});
   }
   t.Print();
+  SaveBenchJson(t, "fig17");
   std::printf("\n# paper: big HI benefit with few clients; benefit "
               "disappears as clients saturate all contexts\n");
   return 0;

@@ -29,6 +29,7 @@ int main() {
     t.AddRow({std::to_string(i + 1), FormatSeconds(r.series.latencies()[i])});
   }
   t.Print();
+  SaveBenchJson(t, "fig8");
   const auto& lat = r.series.latencies();
   double first10 = 0, last10 = 0;
   for (size_t i = 0; i < 10 && i < lat.size(); ++i) first10 += lat[i];

@@ -1,8 +1,11 @@
 /// \file quickstart.cpp
-/// \brief Minimal tour of holix: load a table, run range queries under
-/// holistic indexing, and watch the index space refine itself.
+/// \brief Minimal tour of holix: load a table, open a client session,
+/// resolve column handles once, run range queries under holistic indexing
+/// (sync and async), and watch the index space refine itself.
 
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "engine/database.h"
 #include "harness/runner.h"
@@ -27,6 +30,14 @@ int main() {
   LoadUniformTable(db, "r", /*num_attrs=*/3, rows, domain, /*seed=*/7);
   std::printf("loaded table r: 3 attributes x %zu rows\n", rows);
 
+  // A client talks to the engine through a session: resolve each attribute
+  // to a handle once, then query through the handles — the hot path does
+  // no name hashing and takes no global lock.
+  Session session = db.OpenSession();
+  const auto names = MakeAttributeNames(3);
+  std::vector<ColumnHandle> handles;
+  for (const auto& name : names) handles.push_back(session.Handle("r", name));
+
   // Fire a few ad-hoc range queries; the first on each attribute builds an
   // adaptive index, later ones (and holistic workers, in the background)
   // refine it.
@@ -36,11 +47,10 @@ int main() {
   spec.domain = domain;
   spec.selectivity = 0.01;
   const auto queries = GenerateWorkload(spec);
-  const auto names = MakeAttributeNames(3);
 
   for (size_t i = 0; i < queries.size(); ++i) {
     const auto& q = queries[i];
-    const size_t n = db.CountRange("r", names[q.attr], q.low, q.high);
+    const size_t n = session.CountRange(handles[q.attr], q.low, q.high);
     if ((i + 1) % 16 == 0 || i == 0) {
       std::printf("query %3zu: count(a%zu in [%lld, %lld)) = %zu | "
                   "indices=%zu pieces=%zu\n",
@@ -50,8 +60,19 @@ int main() {
     }
   }
 
+  // Async submission: overlap a batch of counts through the client pool.
+  std::vector<std::future<size_t>> batch;
+  for (size_t a = 0; a < handles.size(); ++a) {
+    batch.push_back(
+        session.SubmitCountRange(handles[a], 0, domain / 2));
+  }
+  size_t below_half = 0;
+  for (auto& f : batch) below_half += f.get();
+  std::printf("\nasync batch: %zu values below domain/2 across 3 attributes\n",
+              below_half);
+
   if (auto* engine = db.holistic()) {
-    std::printf("\nholistic engine: %llu refinement steps, %llu cracks, "
+    std::printf("holistic engine: %llu refinement steps, %llu cracks, "
                 "%zu activations\n",
                 static_cast<unsigned long long>(engine->TotalRefinementSteps()),
                 static_cast<unsigned long long>(engine->TotalWorkerCracks()),

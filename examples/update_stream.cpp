@@ -30,27 +30,30 @@ int main() {
   std::printf("orders.amount: %zu rows, domain [0, %lld)\n", rows,
               static_cast<long long>(domain));
 
+  // The writer is one client session: the attribute resolves to a handle
+  // once, and every read/write after that goes through the handle.
+  Session session = db.OpenSession();
+  const ColumnHandle amount = session.Handle("orders", "amount");
+
   Rng rng(8);
   size_t total_rows = rows;
   Timer wall;
   for (size_t round = 0; round < rounds; ++round) {
     // A burst of fresh orders...
     for (int i = 0; i < 20; ++i) {
-      db.Insert("orders", "amount",
-                static_cast<int64_t>(rng.Below(domain)));
+      session.Insert(amount, static_cast<int64_t>(rng.Below(domain)));
       ++total_rows;
     }
     // ...a few cancellations...
     for (int i = 0; i < 5; ++i) {
-      if (db.Delete("orders", "amount",
-                    static_cast<int64_t>(rng.Below(domain)))) {
+      if (session.Delete(amount, static_cast<int64_t>(rng.Below(domain)))) {
         --total_rows;
       }
     }
     // ...and an analyst query over a random amount band.
     const int64_t lo = static_cast<int64_t>(rng.Below(domain));
     const int64_t hi = std::min<int64_t>(domain, lo + domain / 100);
-    const size_t count = db.CountRange("orders", "amount", lo, hi);
+    const size_t count = session.CountRange(amount, lo, hi);
     if ((round + 1) % 10 == 0) {
       const auto idx = db.holistic()->store().Find("orders.amount");
       std::printf("round %3zu: band [%7lld,%7lld) -> %6zu rows | "
@@ -65,7 +68,7 @@ int main() {
   }
 
   // Verify the full count converges to loaded + inserted - deleted.
-  const size_t full = db.CountRange("orders", "amount", 0, domain);
+  const size_t full = session.CountRange(amount, 0, domain);
   std::printf("\nfinal count over the whole domain: %zu (expected %zu) %s\n",
               full, total_rows, full == total_rows ? "OK" : "MISMATCH");
   std::printf("session wall time: %.3fs; background cracks: %llu\n",

@@ -345,7 +345,7 @@ class CrackerColumn {
   std::optional<T> SuggestExtremePiecePivot(bool biggest, Rng& rng,
                                             size_t min_piece = 2) const {
     ReadGuard column_guard(column_latch_);
-    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
     size_t best_begin = 0, best_end = 0;
     bool found = false;
     size_t prev = 0;
@@ -359,11 +359,10 @@ class CrackerColumn {
         found = true;
       }
     };
-    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
-        [&](typename CrackerIndex<T>::Node& n) {
-          consider(prev, n.pos);
-          prev = n.pos;
-        });
+    index_.ForEachBoundary([&](const typename CrackerIndex<T>::Node& n) {
+      consider(prev, n.pos);
+      prev = n.pos;
+    });
     consider(prev, size());
     if (!found) return std::nullopt;
     const size_t probe =
@@ -374,14 +373,13 @@ class CrackerColumn {
   /// Pieces of diagnostics: piece sizes in position order.
   std::vector<size_t> PieceSizes() const {
     ReadGuard column_guard(column_latch_);
-    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
     std::vector<size_t> sizes;
     size_t prev = 0;
-    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
-        [&](typename CrackerIndex<T>::Node& n) {
-          sizes.push_back(n.pos - prev);
-          prev = n.pos;
-        });
+    index_.ForEachBoundary([&](const typename CrackerIndex<T>::Node& n) {
+      sizes.push_back(n.pos - prev);
+      prev = n.pos;
+    });
     sizes.push_back(size() - prev);
     return sizes;
   }
@@ -391,7 +389,7 @@ class CrackerColumn {
   /// \return true when consistent. Test/debug helper.
   bool CheckInvariants() const {
     ReadGuard column_guard(column_latch_);
-    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
     size_t prev_pos = 0;
     std::optional<T> prev_val;
     bool ok = true;
@@ -403,15 +401,14 @@ class CrackerColumn {
       }
     };
     std::optional<T> lo_v;
-    const_cast<CrackerIndex<T>&>(index_).ForEachBoundary(
-        [&](typename CrackerIndex<T>::Node& n) {
-          if (n.pos < prev_pos) ok = false;
-          if (prev_val && !(*prev_val < n.value)) ok = false;
-          check_piece(prev_pos, n.pos, lo_v, n.value);
-          prev_pos = n.pos;
-          lo_v = n.value;
-          prev_val = n.value;
-        });
+    index_.ForEachBoundary([&](const typename CrackerIndex<T>::Node& n) {
+      if (n.pos < prev_pos) ok = false;
+      if (prev_val && !(*prev_val < n.value)) ok = false;
+      check_piece(prev_pos, n.pos, lo_v, n.value);
+      prev_pos = n.pos;
+      lo_v = n.value;
+      prev_val = n.value;
+    });
     check_piece(prev_pos, size(), lo_v, std::nullopt);
     return ok;
   }

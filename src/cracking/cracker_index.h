@@ -143,6 +143,12 @@ class CrackerIndex {
     ForEachRec(root_.get(), fn);
   }
 
+  /// Read-only in-order visit, for const readers (piece statistics,
+  /// invariant checks) that only need a shared tree lock.
+  void ForEachBoundary(const std::function<void(const Node&)>& fn) const {
+    ForEachConstRec(root_.get(), fn);
+  }
+
   /// Collects boundary nodes in ascending value order.
   std::vector<Node*> CollectBoundaries() {
     std::vector<Node*> nodes;
@@ -223,6 +229,14 @@ class CrackerIndex {
     ForEachRec(n->left.get(), fn);
     fn(*n);
     ForEachRec(n->right.get(), fn);
+  }
+
+  static void ForEachConstRec(const Node* n,
+                              const std::function<void(const Node&)>& fn) {
+    if (n == nullptr) return;
+    ForEachConstRec(n->left.get(), fn);
+    fn(*n);
+    ForEachConstRec(n->right.get(), fn);
   }
 
   std::unique_ptr<Node> root_;

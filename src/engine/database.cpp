@@ -1,23 +1,9 @@
 #include "engine/database.h"
 
 #include <algorithm>
-#include <limits>
-#include <stdexcept>
 #include <thread>
 
 namespace holix {
-
-namespace {
-
-/// Stochastic cracking pivots must come from a thread-safe source; each
-/// query thread gets its own generator.
-Rng& ThreadLocalQueryRng(uint64_t seed) {
-  thread_local Rng rng(seed ^
-                       std::hash<std::thread::id>{}(std::this_thread::get_id()));
-  return rng;
-}
-
-}  // namespace
 
 const char* ExecModeName(ExecMode m) {
   switch (m) {
@@ -65,358 +51,120 @@ Database::Database(DatabaseOptions options) : options_(options) {
         std::make_unique<HolisticEngine>(options_.holistic, std::move(monitor));
     holistic_->Start();
   }
+  engine_ctx_.options = &options_;
+  engine_ctx_.registry = &registry_;
+  engine_ctx_.query_pool = query_pool_.get();
+  engine_ctx_.holistic = holistic_.get();
+  engine_ctx_.slot_monitor = slot_monitor_;
+  engine_ctx_.next_rowid = &next_insert_rowid_;
+  executor_ = MakeQueryExecutor(options_.mode, engine_ctx_);
 }
 
 Database::~Database() {
   if (holistic_ != nullptr) holistic_->Stop();
 }
 
-void Database::LoadColumn(const std::string& table, const std::string& column,
-                          std::vector<int64_t> data) {
-  Table& t = catalog_.CreateTable(table);
-  const size_t rows = data.size();
-  t.AddColumn<int64_t>(column, std::move(data));
+void Database::RaiseRowIdFloor(uint64_t rows) {
   uint64_t expected = next_insert_rowid_.load(std::memory_order_relaxed);
   while (expected < rows && !next_insert_rowid_.compare_exchange_weak(
                                 expected, rows, std::memory_order_relaxed)) {
   }
 }
 
-const Column<int64_t>& Database::BaseColumn(const std::string& table,
-                                            const std::string& column) const {
-  return catalog_.GetTable(table).GetColumn<int64_t>(column);
+void Database::DropTable(const std::string& table) {
+  const auto dropped = registry_.DropTable(table);
+  for (const auto& entry : dropped) {
+    if (holistic_ != nullptr) holistic_->store().Remove(entry->key());
+    entry->ResetIndexRuntime();
+  }
+  catalog_.DropTable(table);
 }
 
-Database::ColumnRuntime& Database::Runtime(const std::string& key) {
-  // Caller holds runtime_mu_.
-  return runtime_[key];
+Session Database::OpenSession(SessionOptions options) {
+  const uint64_t id =
+      next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  // Distinct deterministic per-session seed unless the caller pins one.
+  const uint64_t seed = options.seed != 0
+                            ? options.seed
+                            : options_.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  return Session(this, id, seed);
 }
 
-std::shared_ptr<CrackerColumn<int64_t>> Database::EnsureCracker(
-    const std::string& table, const std::string& column) {
-  const std::string key = Key(table, column);
-  {
-    std::lock_guard<std::mutex> lk(runtime_mu_);
-    auto it = runtime_.find(key);
-    if (it != runtime_.end() && it->second.cracker != nullptr) {
-      return it->second.cracker;
-    }
-  }
-  // Build outside the lock (copying the base column may be expensive),
-  // then race to install; the loser's copy is discarded.
-  const Column<int64_t>& base = BaseColumn(table, column);
-  auto fresh = std::make_shared<CrackerColumn<int64_t>>(key, base.values());
-  std::shared_ptr<CrackerColumn<int64_t>> installed;
-  {
-    std::lock_guard<std::mutex> lk(runtime_mu_);
-    ColumnRuntime& rt = Runtime(key);
-    if (rt.cracker == nullptr) rt.cracker = fresh;
-    installed = rt.cracker;
-  }
-  const bool won = installed == fresh;
-  if (won && options_.mode == ExecMode::kCCGI) {
-    const size_t chunks =
-        options_.ccgi_chunks != 0 ? options_.ccgi_chunks : options_.user_threads;
-    PreCrackEquiWidth(*installed, chunks, QueryCrackConfig());
-  }
-  if (won && holistic_ != nullptr) {
-    auto adapter = std::make_shared<CrackerAdaptiveIndex<int64_t>>(installed);
-    std::vector<std::string> evicted;
-    if (!holistic_->store().Contains(key)) {
-      holistic_->store().Register(adapter, ConfigKind::kActual, &evicted);
-    } else {
-      holistic_->store().RecordQueryAccess(key);
-    }
-    // Budget evictions drop the cracker columns; the store already forgot
-    // them, so queries will rebuild on next access.
-    if (!evicted.empty()) {
-      std::lock_guard<std::mutex> lk(runtime_mu_);
-      for (const auto& name : evicted) {
-        auto it = runtime_.find(name);
-        if (it != runtime_.end()) it->second.cracker.reset();
-      }
-    }
-  }
-  return installed;
-}
-
-std::shared_ptr<SortedIndex<int64_t>> Database::EnsureSorted(
-    const std::string& table, const std::string& column) {
-  const std::string key = Key(table, column);
-  {
-    std::lock_guard<std::mutex> lk(runtime_mu_);
-    auto it = runtime_.find(key);
-    if (it != runtime_.end() && it->second.sorted != nullptr) {
-      return it->second.sorted;
-    }
-  }
-  const Column<int64_t>& base = BaseColumn(table, column);
-  auto fresh =
-      std::make_shared<SortedIndex<int64_t>>(key, base.values(), *query_pool_);
-  std::lock_guard<std::mutex> lk(runtime_mu_);
-  ColumnRuntime& rt = Runtime(key);
-  if (rt.sorted == nullptr) rt.sorted = fresh;
-  return rt.sorted;
-}
-
-CrackConfig Database::QueryCrackConfig() {
-  CrackConfig cfg;
-  cfg.algo = CrackAlgo::kParallel;
-  cfg.pool = query_pool_.get();
-  cfg.parallel_threads = options_.user_threads;
-  if (options_.mode == ExecMode::kStochastic) {
-    cfg.stochastic = true;
-    cfg.rng = &ThreadLocalQueryRng(options_.seed);
-  }
-  return cfg;
-}
-
-PositionRange Database::CrackedSelect(
-    const std::string& table, const std::string& column, int64_t low,
-    int64_t high, std::shared_ptr<CrackerColumn<int64_t>>* out) {
-  auto cracker = EnsureCracker(table, column);
-  if (holistic_ != nullptr) {
-    holistic_->store().RecordQueryAccess(Key(table, column));
-  }
-  const PositionRange range = cracker->SelectRange(low, high,
-                                                   QueryCrackConfig());
-  if (holistic_ != nullptr) {
-    holistic_->store().UpdateAfterRefinement(Key(table, column));
-  }
-  if (out != nullptr) *out = std::move(cracker);
-  return range;
-}
-
-size_t Database::CountRange(const std::string& table,
-                            const std::string& column, int64_t low,
-                            int64_t high) {
+size_t Database::CountRange(const ColumnHandle& column, int64_t low,
+                            int64_t high, const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
-  const uint64_t query_no =
-      queries_executed_.fetch_add(1, std::memory_order_relaxed);
-  switch (options_.mode) {
-    case ExecMode::kScan: {
-      const auto& base = BaseColumn(table, column);
-      return ParallelScanCount(base.data(), base.size(), low, high,
-                               *query_pool_, options_.user_threads);
-    }
-    case ExecMode::kOffline: {
-      if (!offline_prepared_) PrepareOfflineIndexes();
-      return EnsureSorted(table, column)->CountRange(low, high);
-    }
-    case ExecMode::kOnline: {
-      if (query_no < options_.online_observation_window) {
-        const auto& base = BaseColumn(table, column);
-        return ParallelScanCount(base.data(), base.size(), low, high,
-                                 *query_pool_, options_.user_threads);
-      }
-      return EnsureSorted(table, column)->CountRange(low, high);
-    }
-    case ExecMode::kAdaptive:
-    case ExecMode::kStochastic:
-    case ExecMode::kCCGI:
-    case ExecMode::kHolistic: {
-      return CrackedSelect(table, column, low, high, nullptr).size();
-    }
-  }
-  return 0;
+  return executor_->CountRange(column, low, high, qctx);
 }
 
-int64_t Database::SumRange(const std::string& table,
-                           const std::string& column, int64_t low,
-                           int64_t high) {
+int64_t Database::SumRange(const ColumnHandle& column, int64_t low,
+                           int64_t high, const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
-  switch (options_.mode) {
-    case ExecMode::kScan:
-    case ExecMode::kOnline: {
-      // Online mode may have a sorted index already; reuse CountRange's
-      // decision logic by checking the runtime map.
-      if (options_.mode == ExecMode::kOnline) {
-        std::shared_ptr<SortedIndex<int64_t>> sorted;
-        {
-          std::lock_guard<std::mutex> lk(runtime_mu_);
-          auto it = runtime_.find(Key(table, column));
-          if (it != runtime_.end()) sorted = it->second.sorted;
-        }
-        if (sorted != nullptr) {
-          const PositionRange r = sorted->SelectRange(low, high);
-          int64_t sum = 0;
-          for (size_t i = r.begin; i < r.end; ++i) sum += sorted->ValueAt(i);
-          return sum;
-        }
-      }
-      const auto& base = BaseColumn(table, column);
-      const int64_t* data = base.data();
-      int64_t sum = 0;
-      for (size_t i = 0; i < base.size(); ++i) {
-        if (data[i] >= low && data[i] < high) sum += data[i];
-      }
-      return sum;
-    }
-    case ExecMode::kOffline: {
-      if (!offline_prepared_) PrepareOfflineIndexes();
-      auto sorted = EnsureSorted(table, column);
-      const PositionRange r = sorted->SelectRange(low, high);
-      int64_t sum = 0;
-      for (size_t i = r.begin; i < r.end; ++i) sum += sorted->ValueAt(i);
-      return sum;
-    }
-    default: {
-      std::shared_ptr<CrackerColumn<int64_t>> cracker;
-      const PositionRange r = CrackedSelect(table, column, low, high, &cracker);
-      return cracker->SumRange(r);
-    }
-  }
+  return executor_->SumRange(column, low, high, qctx);
 }
 
-PositionList Database::SelectRowIds(const std::string& table,
-                                    const std::string& column, int64_t low,
-                                    int64_t high) {
+PositionList Database::SelectRowIds(const ColumnHandle& column, int64_t low,
+                                    int64_t high, const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
-  switch (options_.mode) {
-    case ExecMode::kScan:
-    case ExecMode::kOnline: {
-      const auto& base = BaseColumn(table, column);
-      return ParallelScanSelect(base.data(), base.size(), low, high,
-                                *query_pool_, options_.user_threads);
-    }
-    case ExecMode::kOffline: {
-      if (!offline_prepared_) PrepareOfflineIndexes();
-      auto sorted = EnsureSorted(table, column);
-      return sorted->FetchRowIds(sorted->SelectRange(low, high));
-    }
-    default: {
-      std::shared_ptr<CrackerColumn<int64_t>> cracker;
-      const PositionRange r = CrackedSelect(table, column, low, high, &cracker);
-      return cracker->FetchRowIds(r);
-    }
-  }
+  return executor_->SelectRowIds(column, low, high, qctx);
 }
 
-int64_t Database::ProjectSum(const std::string& table,
-                             const std::string& where_column,
-                             const std::string& project_column, int64_t low,
-                             int64_t high) {
-  const Column<int64_t>& projected = BaseColumn(table, project_column);
-  // Cracked modes avoid materializing the position list: the project
-  // operator reads rowids straight out of the cracker column under piece
-  // read latches.
-  switch (options_.mode) {
-    case ExecMode::kAdaptive:
-    case ExecMode::kStochastic:
-    case ExecMode::kCCGI:
-    case ExecMode::kHolistic: {
-      SlotLease lease(slot_monitor_, options_.user_threads);
-      std::shared_ptr<CrackerColumn<int64_t>> cracker;
-      const PositionRange r =
-          CrackedSelect(table, where_column, low, high, &cracker);
-      int64_t sum = 0;
-      cracker->ScanRange(r, [&](int64_t, RowId rid) {
-        sum += projected[rid];
-      });
-      return sum;
-    }
-    default: {
-      const PositionList rows = SelectRowIds(table, where_column, low, high);
-      int64_t sum = 0;
-      for (RowId rid : rows) sum += projected[rid];
-      return sum;
-    }
-  }
+int64_t Database::ProjectSum(const ColumnHandle& where_column,
+                             const ColumnHandle& project_column, int64_t low,
+                             int64_t high, const QueryContext& qctx) {
+  SlotLease lease(slot_monitor_, options_.user_threads);
+  return executor_->ProjectSum(where_column, project_column, low, high, qctx);
 }
 
-RowId Database::Insert(const std::string& table, const std::string& column,
-                       int64_t value) {
-  if (options_.mode != ExecMode::kAdaptive &&
-      options_.mode != ExecMode::kStochastic &&
-      options_.mode != ExecMode::kCCGI &&
-      options_.mode != ExecMode::kHolistic) {
-    throw std::logic_error("updates require a cracking mode");
-  }
-  auto cracker = EnsureCracker(table, column);
-  const RowId rid = next_insert_rowid_.fetch_add(1, std::memory_order_relaxed);
-  cracker->pending().AddInsert(value, rid);
-  return rid;
+RowId Database::Insert(const ColumnHandle& column, int64_t value,
+                       const QueryContext& qctx) {
+  return executor_->Insert(column, value, qctx);
 }
 
-bool Database::Delete(const std::string& table, const std::string& column,
-                      int64_t value) {
-  auto cracker = EnsureCracker(table, column);
-  // Resolve the rowid of one matching row: select the unit range (this is
-  // itself an index-refining access) and take the first qualifying rowid.
-  // A concurrent Ripple merge (holistic worker) may shift positions
-  // between the select and the read, so verify the value and retry.
-  for (int attempt = 0; attempt < 8; ++attempt) {
-    const PositionRange r =
-        cracker->SelectRange(value, value + 1, QueryCrackConfig());
-    if (r.empty()) return false;
-    bool found = false;
-    RowId rid = 0;
-    cracker->ScanRange({r.begin, r.begin + 1}, [&](int64_t v, RowId rr) {
-      if (v == value) {
-        rid = rr;
-        found = true;
-      }
-    });
-    if (found) {
-      cracker->pending().AddDelete(value, rid);
-      return true;
-    }
-  }
-  return false;
-}
-
-void Database::PrepareOfflineIndexes() {
-  offline_prepared_ = true;
-  for (const auto& table_name : catalog_.TableNames()) {
-    const Table& t = catalog_.GetTable(table_name);
-    for (const auto& column_name : t.ColumnNames()) {
-      EnsureSorted(table_name, column_name);
-    }
-  }
-}
-
-void Database::SeedPotentialIndex(const std::string& table,
-                                  const std::string& column) {
-  if (holistic_ == nullptr) {
-    throw std::logic_error("potential indices require kHolistic mode");
-  }
-  const std::string key = Key(table, column);
-  if (holistic_->store().Contains(key)) return;
-  const Column<int64_t>& base = BaseColumn(table, column);
-  auto fresh = std::make_shared<CrackerColumn<int64_t>>(key, base.values());
-  std::shared_ptr<CrackerColumn<int64_t>> installed;
-  {
-    std::lock_guard<std::mutex> lk(runtime_mu_);
-    ColumnRuntime& rt = Runtime(key);
-    if (rt.cracker == nullptr) rt.cracker = fresh;
-    installed = rt.cracker;
-  }
-  auto adapter = std::make_shared<CrackerAdaptiveIndex<int64_t>>(installed);
-  std::vector<std::string> evicted;
-  holistic_->store().Register(adapter, ConfigKind::kPotential, &evicted);
-  if (!evicted.empty()) {
-    std::lock_guard<std::mutex> lk(runtime_mu_);
-    for (const auto& name : evicted) {
-      auto it = runtime_.find(name);
-      if (it != runtime_.end()) it->second.cracker.reset();
-    }
-  }
+bool Database::Delete(const ColumnHandle& column, int64_t value,
+                      const QueryContext& qctx) {
+  return executor_->Delete(column, value, qctx);
 }
 
 size_t Database::TotalIndexPieces() const {
-  std::lock_guard<std::mutex> lk(runtime_mu_);
   size_t pieces = 0;
-  for (const auto& [_, rt] : runtime_) {
-    if (rt.cracker != nullptr) pieces += rt.cracker->NumPieces();
-  }
+  registry_.ForEach([&](ColumnEntry& e) {
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      if (auto c = e.runtime<T>().cracker.load(std::memory_order_acquire)) {
+        pieces += c->NumPieces();
+      }
+    });
+  });
   return pieces;
 }
 
 size_t Database::NumAdaptiveIndices() const {
-  std::lock_guard<std::mutex> lk(runtime_mu_);
   size_t n = 0;
-  for (const auto& [_, rt] : runtime_) n += (rt.cracker != nullptr) ? 1 : 0;
+  registry_.ForEach([&](ColumnEntry& e) {
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      if (e.runtime<T>().cracker.load(std::memory_order_acquire) != nullptr) {
+        ++n;
+      }
+    });
+  });
   return n;
+}
+
+ThreadPool& Database::client_pool(size_t min_threads) {
+  std::lock_guard<std::mutex> lk(client_pool_mu_);
+  const size_t want = std::max<size_t>(
+      min_threads, std::max<size_t>(2, options_.total_cores));
+  if (client_pool_ == nullptr) {
+    client_pool_ = std::make_unique<ThreadPool>(want);
+  } else if (client_pool_->size() < min_threads) {
+    // Grow by retiring the old pool, never destroying it: references and
+    // in-flight submissions on the old pool stay valid (its queue drains
+    // on its own threads); only new callers see the bigger pool.
+    retired_client_pools_.push_back(std::move(client_pool_));
+    client_pool_ = std::make_unique<ThreadPool>(want);
+  }
+  return *client_pool_;
 }
 
 }  // namespace holix

@@ -2,7 +2,7 @@
 /// \brief The engine facade: a main-memory column-store with pluggable
 /// indexing modes, reproducing every system compared in §5.
 ///
-/// Execution modes:
+/// Execution modes (each one a QueryExecutor strategy, query_executor.h):
 ///  * kScan       — parallel full scans (MonetDB's plain select).
 ///  * kOffline    — all columns pre-sorted; cost charged to the 1st query.
 ///  * kOnline     — scans during an observation window, then sorts the
@@ -13,73 +13,37 @@
 ///  * kHolistic   — PVDC for user queries + the always-on holistic engine
 ///                  refining indices on idle hardware contexts (§4).
 ///
-/// The facade works on int64 attributes (the paper's workloads are integer
-/// columns); the TPC-H module drives cracker columns with payloads
-/// directly.
+/// The facade is a thin composition of three engine pieces:
+///  * ColumnRegistry — resolves (table, column) once into a ColumnHandle;
+///    the handle-based query path holds no global mutex and hashes no
+///    strings (column_registry.h);
+///  * QueryExecutor — one strategy object per ExecMode;
+///  * Session — per-client handle cache + RNG + async submission
+///    (session.h; OpenSession()).
+///
+/// Attributes are generic over the element type via the typed column
+/// runtime (int32_t and int64_t); the string-based int64 query API remains
+/// source-compatible and works against any indexable column type.
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
-#include "baselines/full_scan.h"
-#include "baselines/sorted_index.h"
-#include "cracking/cracker_column.h"
-#include "cracking/pre_crack.h"
+#include "engine/column_registry.h"
+#include "engine/engine_options.h"
+#include "engine/query_executor.h"
+#include "engine/session.h"
 #include "holistic/holistic_engine.h"
 #include "storage/catalog.h"
-#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace holix {
-
-/// Indexing/execution mode of a Database instance.
-enum class ExecMode : uint8_t {
-  kScan,
-  kOffline,
-  kOnline,
-  kAdaptive,
-  kStochastic,
-  kCCGI,
-  kHolistic,
-};
-
-/// Printable name of an execution mode.
-const char* ExecModeName(ExecMode m);
-
-/// Construction-time options of a Database.
-struct DatabaseOptions {
-  /// Indexing approach used by select operators.
-  ExecMode mode = ExecMode::kAdaptive;
-
-  /// Hardware contexts assigned to each user query (the "uX" in the
-  /// paper's uXwYxZ labels).
-  size_t user_threads = 1;
-
-  /// Hardware contexts of the whole machine (contexts not used by queries
-  /// are what holistic indexing may exploit).
-  size_t total_cores = 0;  ///< 0 = hardware_concurrency().
-
-  /// kOnline: queries answered by scans before the sorting step.
-  size_t online_observation_window = 100;
-
-  /// kCCGI: number of coarse chunks (0 = user_threads).
-  size_t ccgi_chunks = 0;
-
-  /// kHolistic: engine knobs (workers, x, strategy, budget, ...).
-  HolisticConfig holistic;
-
-  /// kHolistic: use kernel statistics (/proc/stat) instead of the
-  /// deterministic slot monitor.
-  bool use_proc_stat_monitor = false;
-
-  /// Seed for stochastic cracking pivots.
-  uint64_t seed = 42;
-};
 
 /// A main-memory column-store database with self-organizing indexing.
 class Database {
@@ -93,51 +57,123 @@ class Database {
   /// Schema and base data.
   Catalog& catalog() { return catalog_; }
 
-  /// Creates table \p table (if needed) and adds an int64 column.
+  /// Creates table \p table (if needed) and adds a typed column. The
+  /// engine indexes int32_t and int64_t attributes; other element types
+  /// (double) load as storage-only — visible through catalog(), not
+  /// queryable through the facade.
+  template <typename T>
   void LoadColumn(const std::string& table, const std::string& column,
-                  std::vector<int64_t> data);
+                  std::vector<T> data) {
+    Table& t = catalog_.CreateTable(table);
+    const size_t rows = data.size();
+    Column<T>& stored = t.AddColumn<T>(column, std::move(data));
+    if constexpr (std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>) {
+      registry_.Add<T>(table, column, &stored);
+    } else {
+      (void)stored;
+    }
+    RaiseRowIdFloor(rows);
+  }
 
-  /// select count(*) from table where low <= column < high.
-  /// Cracks / sorts / scans according to the configured mode.
-  size_t CountRange(const std::string& table, const std::string& column,
-                    int64_t low, int64_t high);
+  /// Source-compatible int64 overload (also catches braced initializers).
+  void LoadColumn(const std::string& table, const std::string& column,
+                  std::vector<int64_t> data) {
+    LoadColumn<int64_t>(table, column, std::move(data));
+  }
+
+  /// Drops \p table: its attributes leave the registry and the holistic
+  /// store, and outstanding handles turn invalid (queries through them
+  /// throw). Callers must quiesce in-flight queries on the table first, as
+  /// with any DDL.
+  void DropTable(const std::string& table);
+
+  /// Resolves an attribute to a handle for the hot query path. Resolve
+  /// once, query many times. Throws std::out_of_range when absent.
+  ColumnHandle Resolve(const std::string& table,
+                       const std::string& column) const {
+    return registry_.Resolve(table, column);
+  }
+
+  /// Opens a per-client session (handle cache, private RNG, async path).
+  Session OpenSession(SessionOptions options = {});
+
+  // --- Handle-based query API (no global mutex, no string hashing) -------
+
+  /// select count(*) from ... where low <= column < high.
+  size_t CountRange(const ColumnHandle& column, int64_t low, int64_t high,
+                    const QueryContext& qctx = {});
 
   /// select sum(column) ... : forces the engine to touch qualifying rows.
-  int64_t SumRange(const std::string& table, const std::string& column,
-                   int64_t low, int64_t high);
+  int64_t SumRange(const ColumnHandle& column, int64_t low, int64_t high,
+                   const QueryContext& qctx = {});
 
   /// Materializes qualifying rowids (tuple-reconstruction input).
+  PositionList SelectRowIds(const ColumnHandle& column, int64_t low,
+                            int64_t high, const QueryContext& qctx = {});
+
+  /// The paper's §3.1 query shape reduced to a checksum: select on
+  /// \p where_column, project \p project_column positionally, return its
+  /// sum. Exercises late tuple reconstruction.
+  int64_t ProjectSum(const ColumnHandle& where_column,
+                     const ColumnHandle& project_column, int64_t low,
+                     int64_t high, const QueryContext& qctx = {});
+
+  /// Pending-queue insert (merged on demand; §5.7). Cracking modes only.
+  RowId Insert(const ColumnHandle& column, int64_t value,
+               const QueryContext& qctx = {});
+
+  /// Pending-queue delete of one row holding \p value. \return true when a
+  /// matching row was found. Limitation: a value equal to the element
+  /// type's maximum is not deletable through this path (the unit-range
+  /// select cannot express [max, max+1)) and reports false.
+  bool Delete(const ColumnHandle& column, int64_t value,
+              const QueryContext& qctx = {});
+
+  // --- Name-based query API (source-compatible; resolves per call) -------
+
+  size_t CountRange(const std::string& table, const std::string& column,
+                    int64_t low, int64_t high) {
+    return CountRange(Resolve(table, column), low, high);
+  }
+  int64_t SumRange(const std::string& table, const std::string& column,
+                   int64_t low, int64_t high) {
+    return SumRange(Resolve(table, column), low, high);
+  }
   PositionList SelectRowIds(const std::string& table,
                             const std::string& column, int64_t low,
-                            int64_t high);
-
-  /// The paper's §3.1 query shape — `select B from R where lo <= A < hi` —
-  /// reduced to a checksum: selects on \p where_column, then projects
-  /// \p project_column positionally through the qualifying rowids and
-  /// returns its sum. Exercises late tuple reconstruction.
+                            int64_t high) {
+    return SelectRowIds(Resolve(table, column), low, high);
+  }
   int64_t ProjectSum(const std::string& table,
                      const std::string& where_column,
                      const std::string& project_column, int64_t low,
-                     int64_t high);
-
-  /// Inserts a value into a cracked attribute (pending-insert queue, merged
-  /// on demand; §5.7). Requires a cracking mode. \return assigned rowid.
+                     int64_t high) {
+    return ProjectSum(Resolve(table, where_column),
+                      Resolve(table, project_column), low, high);
+  }
   RowId Insert(const std::string& table, const std::string& column,
-               int64_t value);
-
-  /// Deletes one row holding \p value (pending-delete queue). \return true
-  /// when a matching row was found.
+               int64_t value) {
+    return Insert(Resolve(table, column), value);
+  }
   bool Delete(const std::string& table, const std::string& column,
-              int64_t value);
+              int64_t value) {
+    return Delete(Resolve(table, column), value);
+  }
+
+  // --- Mode-specific operations ------------------------------------------
 
   /// Sorts every loaded column now (offline indexing's up-front
   /// investment). Implicit on first query in kOffline mode.
-  void PrepareOfflineIndexes();
+  void PrepareOfflineIndexes() { executor_->Prepare(); }
 
   /// Registers a speculative index on an attribute into C_potential
   /// (kHolistic; Fig. 9's idle-time pre-indexing).
   void SeedPotentialIndex(const std::string& table,
-                          const std::string& column);
+                          const std::string& column) {
+    executor_->SeedPotential(Resolve(table, column));
+  }
+
+  // --- Introspection ------------------------------------------------------
 
   /// The holistic engine (nullptr unless mode is kHolistic).
   HolisticEngine* holistic() { return holistic_.get(); }
@@ -151,43 +187,39 @@ class Database {
   /// The options this database was built with.
   const DatabaseOptions& options() const { return options_; }
 
-  /// The shared query worker pool.
+  /// The shared intra-query worker pool (parallel scans/cracks/sorts).
   ThreadPool& query_pool() { return *query_pool_; }
 
+  /// The client pool executing async session submissions and harness
+  /// client drivers. Lazily created; growing to \p min_threads retires the
+  /// old pool (in-flight submissions and held references stay valid and
+  /// drain on the old pool's threads). Distinct from query_pool() so a
+  /// submitted query may itself fan out on the query pool without deadlock.
+  ThreadPool& client_pool(size_t min_threads = 0);
+
+  /// The name -> handle registry (read-only).
+  const ColumnRegistry& registry() const { return registry_; }
+
  private:
-  struct ColumnRuntime {
-    std::shared_ptr<CrackerColumn<int64_t>> cracker;
-    std::shared_ptr<SortedIndex<int64_t>> sorted;
-  };
-
-  static std::string Key(const std::string& table, const std::string& column) {
-    return table + "." + column;
-  }
-
-  const Column<int64_t>& BaseColumn(const std::string& table,
-                                    const std::string& column) const;
-  ColumnRuntime& Runtime(const std::string& key);
-  std::shared_ptr<CrackerColumn<int64_t>> EnsureCracker(
-      const std::string& table, const std::string& column);
-  std::shared_ptr<SortedIndex<int64_t>> EnsureSorted(
-      const std::string& table, const std::string& column);
-  CrackConfig QueryCrackConfig();
-  PositionRange CrackedSelect(const std::string& table,
-                              const std::string& column, int64_t low,
-                              int64_t high,
-                              std::shared_ptr<CrackerColumn<int64_t>>* out);
+  void RaiseRowIdFloor(uint64_t rows);
 
   DatabaseOptions options_;
   Catalog catalog_;
+  ColumnRegistry registry_;
   std::unique_ptr<ThreadPool> query_pool_;
   std::unique_ptr<HolisticEngine> holistic_;
   SlotCpuMonitor* slot_monitor_ = nullptr;  // owned by holistic_
+  EngineContext engine_ctx_;
+  std::unique_ptr<QueryExecutor> executor_;
 
-  mutable std::mutex runtime_mu_;
-  std::unordered_map<std::string, ColumnRuntime> runtime_;
-  std::atomic<uint64_t> queries_executed_{0};
   std::atomic<uint64_t> next_insert_rowid_{0};
-  bool offline_prepared_ = false;
+  std::atomic<uint64_t> next_session_id_{0};
+
+  std::mutex client_pool_mu_;
+  std::unique_ptr<ThreadPool> client_pool_;
+  /// Pools replaced by growth; kept alive so outstanding references and
+  /// submissions drain safely (freed when the database dies).
+  std::vector<std::unique_ptr<ThreadPool>> retired_client_pools_;
 };
 
 }  // namespace holix

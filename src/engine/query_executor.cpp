@@ -1,0 +1,682 @@
+#include "engine/query_executor.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+#include <type_traits>
+
+#include "baselines/full_scan.h"
+#include "cracking/pre_crack.h"
+
+namespace holix {
+
+namespace {
+
+/// Stochastic cracking pivots must come from a thread-safe source; query
+/// threads without a session RNG each get their own generator.
+Rng& ThreadLocalQueryRng(uint64_t seed) {
+  thread_local Rng rng(seed ^
+                       std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  return rng;
+}
+
+/// Query bounds arrive as int64 at the facade; narrower column types clamp
+/// them to the type's domain. The exclusive upper bound saturates at
+/// max(T), so the single value max(T) is not selectable through the int64
+/// facade on narrower columns at all — an accepted limitation (the select
+/// machinery is exclusive-high throughout; integer workloads never sit on
+/// the type boundary).
+template <typename T>
+struct Bounds {
+  T lo{};
+  T hi{};
+  bool empty = false;
+};
+
+template <typename T>
+Bounds<T> ClampBounds(int64_t lo, int64_t hi) {
+  if (lo >= hi) return {T{}, T{}, true};
+  if constexpr (std::is_same_v<T, int64_t>) {
+    return {lo, hi, false};
+  } else {
+    constexpr int64_t tmin = std::numeric_limits<T>::min();
+    constexpr int64_t tmax = std::numeric_limits<T>::max();
+    if (hi <= tmin || lo > tmax) return {T{}, T{}, true};
+    const T l = static_cast<T>(std::max<int64_t>(lo, tmin));
+    const T h = static_cast<T>(std::min<int64_t>(hi, tmax));
+    return {l, h, l >= h};
+  }
+}
+
+template <typename T>
+bool InDomain(int64_t v) {
+  if constexpr (std::is_same_v<T, int64_t>) {
+    (void)v;
+    return true;
+  } else {
+    return v >= std::numeric_limits<T>::min() &&
+           v <= std::numeric_limits<T>::max();
+  }
+}
+
+StoreState ToStoreState(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::kActual:
+      return StoreState::kActual;
+    case ConfigKind::kPotential:
+      return StoreState::kPotential;
+    case ConfigKind::kOptimal:
+      return StoreState::kOptimal;
+  }
+  return StoreState::kUnregistered;
+}
+
+// ---------------------------------------------------------------------------
+// Shared plumbing
+// ---------------------------------------------------------------------------
+
+class ExecutorBase : public QueryExecutor {
+ public:
+  explicit ExecutorBase(const EngineContext& ctx) : ctx_(ctx) {}
+
+  /// Default late reconstruction: materialize rowids via the mode's select,
+  /// then project positionally through the base column.
+  int64_t ProjectSum(const ColumnHandle& where_column,
+                     const ColumnHandle& project_column, int64_t low,
+                     int64_t high, const QueryContext& qctx) override {
+    ColumnEntry& pe = Entry(project_column);
+    CheckSameTable(Entry(where_column), pe);
+    const PositionList rows = SelectRowIds(where_column, low, high, qctx);
+    return DispatchIndexableType(pe.type(), [&](auto tag) -> int64_t {
+      using P = typename decltype(tag)::type;
+      const Column<P>& proj = *pe.runtime<P>().base;
+      int64_t sum = 0;
+      for (RowId rid : rows) sum += static_cast<int64_t>(proj[rid]);
+      return sum;
+    });
+  }
+
+ protected:
+  /// Validates the handle and returns its entry: null handles are caller
+  /// bugs, dropped entries mean the table is gone (base data freed).
+  ColumnEntry& Entry(const ColumnHandle& h) const {
+    ColumnEntry* e = h.entry();
+    if (e == nullptr) {
+      throw std::invalid_argument("query through a null column handle");
+    }
+    if (e->dropped.load(std::memory_order_acquire)) {
+      throw std::logic_error("column was dropped: " + e->key());
+    }
+    return *e;
+  }
+
+  static void CheckSameTable(const ColumnEntry& a, const ColumnEntry& b) {
+    if (a.table() != b.table()) {
+      throw std::invalid_argument("ProjectSum across tables: " + a.key() +
+                                  " vs " + b.key());
+    }
+  }
+
+  template <typename T>
+  std::shared_ptr<SortedIndex<T>> EnsureSorted(ColumnEntry& e) {
+    auto& rt = e.runtime<T>();
+    if (auto s = rt.sorted.load(std::memory_order_acquire)) return s;
+    std::lock_guard<std::mutex> lk(e.build_mu);
+    if (auto s = rt.sorted.load(std::memory_order_acquire)) return s;
+    auto fresh = std::make_shared<SortedIndex<T>>(e.key(), rt.base->values(),
+                                                  *ctx_.query_pool);
+    rt.sorted.store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  template <typename T>
+  int64_t SortedSum(const SortedIndex<T>& sorted, const Bounds<T>& b) const {
+    const PositionRange r = sorted.SelectRange(b.lo, b.hi);
+    int64_t sum = 0;
+    for (size_t i = r.begin; i < r.end; ++i) {
+      sum += static_cast<int64_t>(sorted.ValueAt(i));
+    }
+    return sum;
+  }
+
+  template <typename T>
+  size_t ScanCount(ColumnEntry& e, const Bounds<T>& b) const {
+    const Column<T>& base = *e.runtime<T>().base;
+    return ParallelScanCount(base.data(), base.size(), b.lo, b.hi,
+                             *ctx_.query_pool, ctx_.options->user_threads);
+  }
+
+  template <typename T>
+  int64_t ScanSum(ColumnEntry& e, const Bounds<T>& b) const {
+    const Column<T>& base = *e.runtime<T>().base;
+    const T* data = base.data();
+    int64_t sum = 0;
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (data[i] >= b.lo && data[i] < b.hi) {
+        sum += static_cast<int64_t>(data[i]);
+      }
+    }
+    return sum;
+  }
+
+  template <typename T>
+  PositionList ScanSelect(ColumnEntry& e, const Bounds<T>& b) const {
+    const Column<T>& base = *e.runtime<T>().base;
+    return ParallelScanSelect(base.data(), base.size(), b.lo, b.hi,
+                              *ctx_.query_pool, ctx_.options->user_threads);
+  }
+
+  /// Sorts every registered attribute (offline indexing's investment).
+  void SortAllColumns() {
+    ctx_.registry->ForEach([this](ColumnEntry& e) {
+      DispatchIndexableType(e.type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        EnsureSorted<T>(e);
+      });
+    });
+  }
+
+  EngineContext ctx_;
+};
+
+// ---------------------------------------------------------------------------
+// kScan — parallel full scans (MonetDB's plain select)
+// ---------------------------------------------------------------------------
+
+class ScanExecutor : public ExecutorBase {
+ public:
+  using ExecutorBase::ExecutorBase;
+
+  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                    const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? 0 : ScanCount<T>(e, b);
+    });
+  }
+
+  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                   const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? 0 : ScanSum<T>(e, b);
+    });
+  }
+
+  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+                            const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? PositionList{} : ScanSelect<T>(e, b);
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kOffline — all columns pre-sorted; cost charged to the first query
+// ---------------------------------------------------------------------------
+
+class OfflineExecutor : public ExecutorBase {
+ public:
+  using ExecutorBase::ExecutorBase;
+
+  void Prepare() override {
+    prepared_.store(true, std::memory_order_release);
+    SortAllColumns();
+  }
+
+  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                    const QueryContext&) override {
+    EnsurePrepared();
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? 0 : EnsureSorted<T>(e)->CountRange(b.lo, b.hi);
+    });
+  }
+
+  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                   const QueryContext&) override {
+    EnsurePrepared();
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? 0 : SortedSum<T>(*EnsureSorted<T>(e), b);
+    });
+  }
+
+  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+                            const QueryContext&) override {
+    EnsurePrepared();
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return {};
+      auto sorted = EnsureSorted<T>(e);
+      return sorted->FetchRowIds(sorted->SelectRange(b.lo, b.hi));
+    });
+  }
+
+ private:
+  void EnsurePrepared() {
+    if (!prepared_.load(std::memory_order_acquire)) Prepare();
+  }
+
+  std::atomic<bool> prepared_{false};
+};
+
+// ---------------------------------------------------------------------------
+// kOnline — scans during an observation window, then sort (COLT-style)
+// ---------------------------------------------------------------------------
+
+class OnlineExecutor : public ExecutorBase {
+ public:
+  using ExecutorBase::ExecutorBase;
+
+  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                    const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    const uint64_t query_no =
+        queries_observed_.fetch_add(1, std::memory_order_relaxed);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return 0;
+      if (query_no < ctx_.options->online_observation_window) {
+        return ScanCount<T>(e, b);
+      }
+      return EnsureSorted<T>(e)->CountRange(b.lo, b.hi);
+    });
+  }
+
+  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                   const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return 0;
+      // Reuse a sorted index if the observation window already closed;
+      // never build one just for a sum.
+      if (auto sorted =
+              e.runtime<T>().sorted.load(std::memory_order_acquire)) {
+        return SortedSum<T>(*sorted, b);
+      }
+      return ScanSum<T>(e, b);
+    });
+  }
+
+  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+                            const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      return b.empty ? PositionList{} : ScanSelect<T>(e, b);
+    });
+  }
+
+ private:
+  std::atomic<uint64_t> queries_observed_{0};
+};
+
+// ---------------------------------------------------------------------------
+// kAdaptive — parallel vectorized database cracking (PVDC), and the base of
+// the other cracking strategies
+// ---------------------------------------------------------------------------
+
+class CrackingExecutor : public ExecutorBase {
+ public:
+  using ExecutorBase::ExecutorBase;
+
+  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                    const QueryContext& qctx) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return 0;
+      return Select<T>(e, b, qctx, nullptr).size();
+    });
+  }
+
+  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+                   const QueryContext& qctx) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return 0;
+      std::shared_ptr<CrackerColumn<T>> cracker;
+      const PositionRange r = Select<T>(e, b, qctx, &cracker);
+      return cracker->SumRange(r);
+    });
+  }
+
+  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+                            const QueryContext& qctx) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
+      using T = typename decltype(tag)::type;
+      const auto b = ClampBounds<T>(lo, hi);
+      if (b.empty) return {};
+      std::shared_ptr<CrackerColumn<T>> cracker;
+      const PositionRange r = Select<T>(e, b, qctx, &cracker);
+      return cracker->FetchRowIds(r);
+    });
+  }
+
+  /// Cracked late reconstruction: the project operator reads rowids
+  /// straight out of the cracker column under piece read latches, without
+  /// materializing a position list.
+  int64_t ProjectSum(const ColumnHandle& where_column,
+                     const ColumnHandle& project_column, int64_t low,
+                     int64_t high, const QueryContext& qctx) override {
+    ColumnEntry& we = Entry(where_column);
+    ColumnEntry& pe = Entry(project_column);
+    CheckSameTable(we, pe);
+    return DispatchIndexableType(we.type(), [&](auto wtag) -> int64_t {
+      using W = typename decltype(wtag)::type;
+      const auto b = ClampBounds<W>(low, high);
+      if (b.empty) return 0;
+      std::shared_ptr<CrackerColumn<W>> cracker;
+      const PositionRange r = Select<W>(we, b, qctx, &cracker);
+      return DispatchIndexableType(pe.type(), [&](auto ptag) -> int64_t {
+        using P = typename decltype(ptag)::type;
+        const Column<P>& proj = *pe.runtime<P>().base;
+        int64_t sum = 0;
+        cracker->ScanRange(r, [&](W, RowId rid) {
+          sum += static_cast<int64_t>(proj[rid]);
+        });
+        return sum;
+      });
+    });
+  }
+
+  RowId Insert(const ColumnHandle& h, int64_t value,
+               const QueryContext& qctx) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> RowId {
+      using T = typename decltype(tag)::type;
+      if (!InDomain<T>(value)) {
+        throw std::out_of_range("insert value out of column domain: " +
+                                e.key());
+      }
+      auto cracker = EnsureCracker<T>(e, qctx);
+      const RowId rid =
+          ctx_.next_rowid->fetch_add(1, std::memory_order_relaxed);
+      cracker->pending().AddInsert(static_cast<T>(value), rid);
+      return rid;
+    });
+  }
+
+  bool Delete(const ColumnHandle& h, int64_t value,
+              const QueryContext& qctx) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(e.type(), [&](auto tag) -> bool {
+      using T = typename decltype(tag)::type;
+      if (!InDomain<T>(value)) return false;
+      const T v = static_cast<T>(value);
+      if (v == std::numeric_limits<T>::max()) return false;  // v+1 overflow
+      auto cracker = EnsureCracker<T>(e, qctx);
+      const CrackConfig cfg = QueryCrackConfig(qctx);
+      // Resolve the rowid of one matching row: select the unit range (this
+      // is itself an index-refining access) and take the first qualifying
+      // rowid. A concurrent Ripple merge (holistic worker) may shift
+      // positions between the select and the read, so verify and retry.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const PositionRange r = cracker->SelectRange(v, v + 1, cfg);
+        if (r.empty()) return false;
+        bool found = false;
+        RowId rid = 0;
+        cracker->ScanRange({r.begin, r.begin + 1}, [&](T val, RowId rr) {
+          if (val == v) {
+            rid = rr;
+            found = true;
+          }
+        });
+        if (found) {
+          cracker->pending().AddDelete(v, rid);
+          return true;
+        }
+      }
+      return false;
+    });
+  }
+
+ protected:
+  /// The crack configuration of one select; overridden by kStochastic.
+  virtual CrackConfig QueryCrackConfig(const QueryContext&) const {
+    CrackConfig cfg;
+    cfg.algo = CrackAlgo::kParallel;
+    cfg.pool = ctx_.query_pool;
+    cfg.parallel_threads = ctx_.options->user_threads;
+    return cfg;
+  }
+
+  /// Runs after a fresh cracker column is published (under the entry's
+  /// build_mu): kCCGI pre-partitions, kHolistic registers with the store.
+  virtual void OnCrackerInstalled(ColumnEntry&, const QueryContext&) {}
+
+  /// Runs after every cracked select (kHolistic syncs the stats store).
+  virtual void AfterSelect(ColumnEntry&) {}
+
+  template <typename T>
+  std::shared_ptr<CrackerColumn<T>> EnsureCracker(ColumnEntry& e,
+                                                  const QueryContext& qctx) {
+    auto& rt = e.runtime<T>();
+    if (auto c = rt.cracker.load(std::memory_order_acquire)) return c;
+    std::lock_guard<std::mutex> lk(e.build_mu);
+    if (auto c = rt.cracker.load(std::memory_order_acquire)) return c;
+    // This copy is the investment the first query on an attribute pays in
+    // adaptive indexing. Per-entry mutex: other attributes stay queryable.
+    auto fresh = std::make_shared<CrackerColumn<T>>(e.key(), rt.base->values());
+    rt.cracker.store(fresh, std::memory_order_release);
+    OnCrackerInstalled(e, qctx);
+    return fresh;
+  }
+
+  template <typename T>
+  PositionRange Select(ColumnEntry& e, const Bounds<T>& b,
+                       const QueryContext& qctx,
+                       std::shared_ptr<CrackerColumn<T>>* out) {
+    auto cracker = EnsureCracker<T>(e, qctx);
+    const PositionRange r =
+        cracker->SelectRange(b.lo, b.hi, QueryCrackConfig(qctx));
+    AfterSelect(e);
+    if (out != nullptr) *out = std::move(cracker);
+    return r;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kStochastic — PVDC plus data-driven random pre-cracks (PVSDC)
+// ---------------------------------------------------------------------------
+
+class StochasticExecutor : public CrackingExecutor {
+ public:
+  using CrackingExecutor::CrackingExecutor;
+
+ protected:
+  CrackConfig QueryCrackConfig(const QueryContext& qctx) const override {
+    CrackConfig cfg = CrackingExecutor::QueryCrackConfig(qctx);
+    cfg.stochastic = true;
+    cfg.rng = qctx.rng != nullptr ? qctx.rng
+                                  : &ThreadLocalQueryRng(ctx_.options->seed);
+    return cfg;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kCCGI — modified parallel chunked coarse-granular index
+// ---------------------------------------------------------------------------
+
+class CcgiExecutor : public CrackingExecutor {
+ public:
+  using CrackingExecutor::CrackingExecutor;
+
+ protected:
+  void OnCrackerInstalled(ColumnEntry& e, const QueryContext& qctx) override {
+    const size_t chunks = ctx_.options->ccgi_chunks != 0
+                              ? ctx_.options->ccgi_chunks
+                              : ctx_.options->user_threads;
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      auto cracker = e.runtime<T>().cracker.load(std::memory_order_acquire);
+      PreCrackEquiWidth(*cracker, chunks, QueryCrackConfig(qctx));
+    });
+  }
+};
+
+// ---------------------------------------------------------------------------
+// kHolistic — PVDC for user queries + always-on holistic refinement
+// ---------------------------------------------------------------------------
+
+class HolisticExecutor : public CrackingExecutor {
+ public:
+  using CrackingExecutor::CrackingExecutor;
+
+  void SeedPotential(const ColumnHandle& h) override {
+    ColumnEntry& e = Entry(h);
+    if (e.store_state.load(std::memory_order_acquire) !=
+        StoreState::kUnregistered) {
+      return;  // already known to the store
+    }
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      std::lock_guard<std::mutex> lk(e.build_mu);
+      auto& rt = e.runtime<T>();
+      auto cracker = rt.cracker.load(std::memory_order_acquire);
+      if (cracker == nullptr) {
+        cracker =
+            std::make_shared<CrackerColumn<T>>(e.key(), rt.base->values());
+        rt.cracker.store(cracker, std::memory_order_release);
+      }
+      auto adapter =
+          std::make_shared<CrackerAdaptiveIndex<T>>(std::move(cracker));
+      RegisterWithStore(e, std::move(adapter), ConfigKind::kPotential);
+    });
+  }
+
+ protected:
+  void OnCrackerInstalled(ColumnEntry& e, const QueryContext&) override {
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      auto cracker = e.runtime<T>().cracker.load(std::memory_order_acquire);
+      auto adapter =
+          std::make_shared<CrackerAdaptiveIndex<T>>(std::move(cracker));
+      RegisterWithStore(e, std::move(adapter), ConfigKind::kActual);
+    });
+  }
+
+  /// The per-query stats-store sync, restructured so the common case is
+  /// lock-free: configuration transitions (promotion, retirement) happen a
+  /// bounded number of times per index, and weight refreshes for the
+  /// access-counting strategies are amortized over kWeightRefreshPeriod
+  /// queries. The access counters themselves live in CrackStats and are
+  /// bumped atomically inside the cracker column, so LFU eviction and the
+  /// W2/W3 weight formulas keep exact counts.
+  void AfterSelect(ColumnEntry& e) override {
+    StatsStore& store = ctx_.holistic->store();
+    switch (e.store_state.load(std::memory_order_acquire)) {
+      case StoreState::kOptimal:
+      case StoreState::kUnregistered:
+        return;
+      case StoreState::kPotential: {
+        // First user query on a seeded index: promote into C_actual. A
+        // concurrent budget eviction may remove the entry between these
+        // calls; TryKindOf treats that as unregistered instead of throwing.
+        store.RecordQueryAccess(e.key());
+        const auto kind = store.TryKindOf(e.key());
+        e.store_state.store(
+            kind.has_value() ? ToStoreState(*kind) : StoreState::kUnregistered,
+            std::memory_order_release);
+        return;
+      }
+      case StoreState::kActual:
+        break;
+    }
+    const auto adapter = e.adapter.load(std::memory_order_acquire);
+    if (adapter == nullptr) return;
+    if (adapter->IsOptimal()) {
+      store.UpdateAfterRefinement(e.key());  // retires into C_optimal
+      e.store_state.store(StoreState::kOptimal, std::memory_order_release);
+      return;
+    }
+    if (store.strategy() != Strategy::kW4 &&
+        e.access_tick.fetch_add(1, std::memory_order_relaxed) %
+                kWeightRefreshPeriod ==
+            0) {
+      store.RecordQueryAccess(e.key());
+    }
+  }
+
+ private:
+  static constexpr uint32_t kWeightRefreshPeriod = 64;
+
+  void RegisterWithStore(ColumnEntry& e,
+                         std::shared_ptr<AdaptiveIndex> adapter,
+                         ConfigKind kind) {
+    e.adapter.store(adapter, std::memory_order_release);
+    std::vector<std::string> evicted;
+    const bool ok =
+        ctx_.holistic->store().Register(std::move(adapter), kind, &evicted);
+    e.store_state.store(ok ? ToStoreState(kind) : StoreState::kUnregistered,
+                        std::memory_order_release);
+    // Budget evictions drop the victims' cracker columns; the store
+    // already forgot them, so their next access rebuilds and re-registers.
+    for (const auto& name : evicted) {
+      ColumnHandle victim = ctx_.registry->FindByKey(name);
+      if (victim.entry() != nullptr) victim.entry()->ResetIndexRuntime();
+    }
+  }
+};
+
+}  // namespace
+
+RowId QueryExecutor::Insert(const ColumnHandle&, int64_t,
+                            const QueryContext&) {
+  throw std::logic_error("updates require a cracking mode");
+}
+
+bool QueryExecutor::Delete(const ColumnHandle&, int64_t,
+                           const QueryContext&) {
+  throw std::logic_error("updates require a cracking mode");
+}
+
+void QueryExecutor::SeedPotential(const ColumnHandle&) {
+  throw std::logic_error("potential indices require kHolistic mode");
+}
+
+std::unique_ptr<QueryExecutor> MakeQueryExecutor(ExecMode mode,
+                                                 const EngineContext& ctx) {
+  switch (mode) {
+    case ExecMode::kScan:
+      return std::make_unique<ScanExecutor>(ctx);
+    case ExecMode::kOffline:
+      return std::make_unique<OfflineExecutor>(ctx);
+    case ExecMode::kOnline:
+      return std::make_unique<OnlineExecutor>(ctx);
+    case ExecMode::kAdaptive:
+      return std::make_unique<CrackingExecutor>(ctx);
+    case ExecMode::kStochastic:
+      return std::make_unique<StochasticExecutor>(ctx);
+    case ExecMode::kCCGI:
+      return std::make_unique<CcgiExecutor>(ctx);
+    case ExecMode::kHolistic:
+      return std::make_unique<HolisticExecutor>(ctx);
+  }
+  throw std::invalid_argument("unknown ExecMode");
+}
+
+}  // namespace holix

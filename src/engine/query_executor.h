@@ -1,0 +1,90 @@
+/// \file query_executor.h
+/// \brief Per-mode query execution strategies over resolved column handles.
+///
+/// Each ExecMode is one strategy object implementing the four §3.1 operator
+/// shapes (CountRange / SumRange / SelectRowIds / ProjectSum) plus the
+/// update entry points, all over a ColumnHandle — the facade resolves names
+/// once and the executors never hash a string or take a global mutex on the
+/// query hot path. Executors are type-generic: they dispatch on the
+/// handle's element type and run the typed cracker / sorted-index / scan
+/// machinery (int32_t and int64_t today).
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "engine/column_registry.h"
+#include "engine/engine_options.h"
+#include "storage/position_list.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace holix {
+
+/// Shared engine state the executors operate on. Plain pointers; the
+/// Database facade owns everything and outlives its executor.
+struct EngineContext {
+  const DatabaseOptions* options = nullptr;
+  ColumnRegistry* registry = nullptr;
+  ThreadPool* query_pool = nullptr;
+  HolisticEngine* holistic = nullptr;       ///< Null unless kHolistic.
+  SlotCpuMonitor* slot_monitor = nullptr;   ///< Null unless slot-monitored.
+  std::atomic<uint64_t>* next_rowid = nullptr;
+};
+
+/// Per-call execution context. Sessions pass their private RNG so
+/// stochastic pivots are deterministic per client; a null rng falls back to
+/// a thread-local generator.
+struct QueryContext {
+  Rng* rng = nullptr;
+};
+
+/// One execution strategy (one ExecMode). Thread-safe: many clients may
+/// call into the same executor concurrently.
+class QueryExecutor {
+ public:
+  virtual ~QueryExecutor() = default;
+
+  /// select count(*) where low <= column < high. Bounds are int64 at the
+  /// interface; narrower column types clamp them to the type's domain (the
+  /// exclusive upper bound saturates at max(T)).
+  virtual size_t CountRange(const ColumnHandle& column, int64_t low,
+                            int64_t high, const QueryContext& qctx) = 0;
+
+  /// select sum(column) where low <= column < high.
+  virtual int64_t SumRange(const ColumnHandle& column, int64_t low,
+                           int64_t high, const QueryContext& qctx) = 0;
+
+  /// Materializes qualifying rowids.
+  virtual PositionList SelectRowIds(const ColumnHandle& column, int64_t low,
+                                    int64_t high,
+                                    const QueryContext& qctx) = 0;
+
+  /// select sum(project) where low <= where < high (late reconstruction).
+  /// Both handles must belong to the same table.
+  virtual int64_t ProjectSum(const ColumnHandle& where_column,
+                             const ColumnHandle& project_column, int64_t low,
+                             int64_t high, const QueryContext& qctx) = 0;
+
+  /// Pending-queue insert; cracking modes only (throws otherwise).
+  virtual RowId Insert(const ColumnHandle& column, int64_t value,
+                       const QueryContext& qctx);
+
+  /// Pending-queue delete of one matching row; cracking modes only.
+  virtual bool Delete(const ColumnHandle& column, int64_t value,
+                      const QueryContext& qctx);
+
+  /// Mode-specific up-front work (offline indexing sorts every column).
+  virtual void Prepare() {}
+
+  /// Registers a speculative index into C_potential (kHolistic only).
+  virtual void SeedPotential(const ColumnHandle& column);
+};
+
+/// Builds the strategy object for \p mode.
+std::unique_ptr<QueryExecutor> MakeQueryExecutor(ExecMode mode,
+                                                 const EngineContext& ctx);
+
+}  // namespace holix

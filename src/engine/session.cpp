@@ -1,0 +1,76 @@
+#include "engine/session.h"
+
+#include <memory>
+#include <utility>
+
+#include "engine/database.h"
+
+namespace holix {
+
+ColumnHandle Session::Handle(const std::string& table,
+                             const std::string& column) {
+  const std::string key = ColumnRegistry::Key(table, column);
+  auto it = handles_.find(key);
+  if (it != handles_.end() && it->second.valid()) return it->second;
+  ColumnHandle h = db_->Resolve(table, column);
+  handles_[key] = h;
+  return h;
+}
+
+size_t Session::CountRange(const ColumnHandle& column, int64_t low,
+                           int64_t high) {
+  return db_->CountRange(column, low, high, QueryContext{&rng_});
+}
+
+int64_t Session::SumRange(const ColumnHandle& column, int64_t low,
+                          int64_t high) {
+  return db_->SumRange(column, low, high, QueryContext{&rng_});
+}
+
+PositionList Session::SelectRowIds(const ColumnHandle& column, int64_t low,
+                                   int64_t high) {
+  return db_->SelectRowIds(column, low, high, QueryContext{&rng_});
+}
+
+int64_t Session::ProjectSum(const ColumnHandle& where_column,
+                            const ColumnHandle& project_column, int64_t low,
+                            int64_t high) {
+  return db_->ProjectSum(where_column, project_column, low, high,
+                         QueryContext{&rng_});
+}
+
+RowId Session::Insert(const ColumnHandle& column, int64_t value) {
+  return db_->Insert(column, value, QueryContext{&rng_});
+}
+
+bool Session::Delete(const ColumnHandle& column, int64_t value) {
+  return db_->Delete(column, value, QueryContext{&rng_});
+}
+
+std::future<size_t> Session::SubmitCountRange(ColumnHandle column,
+                                              int64_t low, int64_t high) {
+  Database* db = db_;
+  auto task = std::make_shared<std::packaged_task<size_t()>>(
+      // Thread-local pivot RNG on the pool thread: the session RNG is not
+      // shared across threads.
+      [db, column = std::move(column), low, high] {
+        return db->CountRange(column, low, high, QueryContext{});
+      });
+  std::future<size_t> fut = task->get_future();
+  db_->client_pool().Submit([task] { (*task)(); });
+  return fut;
+}
+
+std::future<int64_t> Session::SubmitSumRange(ColumnHandle column, int64_t low,
+                                             int64_t high) {
+  Database* db = db_;
+  auto task = std::make_shared<std::packaged_task<int64_t()>>(
+      [db, column = std::move(column), low, high] {
+        return db->SumRange(column, low, high, QueryContext{});
+      });
+  std::future<int64_t> fut = task->get_future();
+  db_->client_pool().Submit([task] { (*task)(); });
+  return fut;
+}
+
+}  // namespace holix

@@ -1,0 +1,106 @@
+/// \file session.h
+/// \brief Per-client query sessions (§5.8's concurrent-client model).
+///
+/// A Session is how one client talks to the engine: it caches resolved
+/// ColumnHandles (names are hashed once per session, not once per query),
+/// carries a private RNG so stochastic pivots are deterministic per client,
+/// and offers an async Submit* path that executes queries on the database's
+/// client pool — which is what the harness and fig17 use to model many
+/// concurrent clients without spawning raw threads per run.
+///
+/// Thread model: one session belongs to one client. The synchronous calls
+/// must not race each other; Submit* hands the query to a pool thread and
+/// uses thread-local pivot RNG there, so a client may overlap async queries
+/// with its own synchronous work.
+
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <unordered_map>
+
+#include "engine/column_registry.h"
+#include "engine/engine_options.h"
+#include "storage/position_list.h"
+#include "util/rng.h"
+
+namespace holix {
+
+class Database;
+
+/// One client's connection to a Database. Movable, not copyable; must not
+/// outlive the database.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Resolves (and caches) the handle of an attribute. Later calls with
+  /// the same names return the cached handle without consulting the
+  /// registry. Throws std::out_of_range when the attribute doesn't exist.
+  ColumnHandle Handle(const std::string& table, const std::string& column);
+
+  // --- Synchronous query API (handle-based hot path) ---------------------
+
+  size_t CountRange(const ColumnHandle& column, int64_t low, int64_t high);
+  int64_t SumRange(const ColumnHandle& column, int64_t low, int64_t high);
+  PositionList SelectRowIds(const ColumnHandle& column, int64_t low,
+                            int64_t high);
+  int64_t ProjectSum(const ColumnHandle& where_column,
+                     const ColumnHandle& project_column, int64_t low,
+                     int64_t high);
+  RowId Insert(const ColumnHandle& column, int64_t value);
+  /// \return true when a matching row was found (values equal to the
+  /// element type's maximum are not deletable; see Database::Delete).
+  bool Delete(const ColumnHandle& column, int64_t value);
+
+  // --- Name-based conveniences (resolve through the session cache) -------
+
+  size_t CountRange(const std::string& table, const std::string& column,
+                    int64_t low, int64_t high) {
+    return CountRange(Handle(table, column), low, high);
+  }
+  int64_t SumRange(const std::string& table, const std::string& column,
+                   int64_t low, int64_t high) {
+    return SumRange(Handle(table, column), low, high);
+  }
+  RowId Insert(const std::string& table, const std::string& column,
+               int64_t value) {
+    return Insert(Handle(table, column), value);
+  }
+  bool Delete(const std::string& table, const std::string& column,
+              int64_t value) {
+    return Delete(Handle(table, column), value);
+  }
+
+  // --- Asynchronous query API --------------------------------------------
+
+  /// Submits the query to the database's client pool and returns a future.
+  /// The session (and database) must outlive the future's completion.
+  std::future<size_t> SubmitCountRange(ColumnHandle column, int64_t low,
+                                       int64_t high);
+  std::future<int64_t> SubmitSumRange(ColumnHandle column, int64_t low,
+                                      int64_t high);
+
+  /// The session's private RNG (stochastic pivot source).
+  Rng& rng() { return rng_; }
+  /// Session id (unique per database).
+  uint64_t id() const { return id_; }
+  /// The owning database.
+  Database& database() { return *db_; }
+
+ private:
+  friend class Database;
+  Session(Database* db, uint64_t id, uint64_t seed)
+      : db_(db), id_(id), rng_(seed) {}
+
+  Database* db_;
+  uint64_t id_;
+  Rng rng_;
+  std::unordered_map<std::string, ColumnHandle> handles_;
+};
+
+}  // namespace holix

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <numeric>
 
@@ -60,6 +61,71 @@ bool ReportTable::SaveCsv(const std::string& path) const {
   };
   write_row(header_);
   for (const auto& row : rows_) write_row(row);
+  out.flush();
+  return out.good();
+}
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+void WriteJsonString(std::ofstream& out, const std::string& s) {
+  out << '"';
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", ch);
+          out << buf;
+        } else {
+          out << ch;
+        }
+    }
+  }
+  out << '"';
+}
+
+void WriteJsonStringArray(std::ofstream& out,
+                          const std::vector<std::string>& row) {
+  out << '[';
+  for (size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) out << ", ";
+    WriteJsonString(out, row[c]);
+  }
+  out << ']';
+}
+
+}  // namespace
+
+bool ReportTable::SaveJson(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"title\": ";
+  WriteJsonString(out, title_);
+  out << ",\n  \"generated_unix\": " << static_cast<long long>(std::time(nullptr));
+  out << ",\n  \"header\": ";
+  WriteJsonStringArray(out, header_);
+  out << ",\n  \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out << (r == 0 ? "\n    " : ",\n    ");
+    WriteJsonStringArray(out, rows_[r]);
+  }
+  out << "\n  ]\n}\n";
   out.flush();
   return out.good();
 }

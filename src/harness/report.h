@@ -29,6 +29,13 @@ class ReportTable {
   /// \return false when the file could not be opened or written.
   bool SaveCsv(const std::string& path) const;
 
+  /// Writes the table as a JSON object:
+  ///   {"title": ..., "generated_unix": ..., "header": [...],
+  ///    "rows": [[...], ...]}
+  /// (machine-readable bench output for perf trajectories).
+  /// \return false when the file could not be opened or written.
+  bool SaveJson(const std::string& path) const;
+
  private:
   std::string title_;
   std::vector<std::string> header_;

@@ -29,14 +29,15 @@ struct RunResult {
   uint64_t result_checksum;  ///< Sum of per-query counts (correctness probe).
 };
 
-/// Replays \p queries against \p db sequentially (one client), timing each
-/// CountRange call.
+/// Replays \p queries against \p db sequentially through one session with
+/// pre-resolved handles, timing each CountRange call.
 RunResult RunWorkload(Database& db, const std::string& table,
                       const std::vector<std::string>& columns,
                       const std::vector<RangeQuery>& queries);
 
-/// Replays \p queries with \p clients concurrent client threads, each
-/// taking queries round-robin. Returns total wall-clock seconds.
+/// Replays \p queries with \p clients concurrent client sessions driven by
+/// the database's client pool, each taking queries round-robin (the §5.8
+/// concurrent-traffic model). Returns total wall-clock seconds.
 double RunWorkloadConcurrent(Database& db, const std::string& table,
                              const std::vector<std::string>& columns,
                              const std::vector<RangeQuery>& queries,

@@ -91,8 +91,10 @@ class CrackerAdaptiveIndex : public AdaptiveIndex {
     const T lo = column_->MinValue();
     const T hi = column_->MaxValue();
     if (lo >= hi) return false;
-    const T pivot = static_cast<T>(
-        rng.Range(static_cast<int64_t>(lo) + 1, static_cast<int64_t>(hi)));
+    // Sample in the column's native type: a detour through int64_t would
+    // overflow for domains spanning most of T (e.g. int64 keys near the
+    // extremes) and silently bias the pivot distribution.
+    const T pivot = SamplePivotBetween<T>(rng, lo, hi);
     return column_->TryRefineAt(pivot, cfg);
   }
 

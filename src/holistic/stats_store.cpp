@@ -42,6 +42,13 @@ ConfigKind StatsStore::KindOf(const std::string& name) const {
   return it->second.kind;
 }
 
+std::optional<ConfigKind> StatsStore::TryKindOf(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.kind;
+}
+
 void StatsStore::RecordQueryAccess(const std::string& name) {
   std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(name);

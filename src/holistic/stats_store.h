@@ -16,6 +16,7 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -69,6 +70,10 @@ class StatsStore {
 
   /// Configuration of \p name; throws std::out_of_range when absent.
   ConfigKind KindOf(const std::string& name) const;
+
+  /// Configuration of \p name, or nullopt when absent (races with eviction
+  /// are expected on the query path; this never throws).
+  std::optional<ConfigKind> TryKindOf(const std::string& name) const;
 
   /// Records that a user query accessed \p name; promotes a potential index
   /// into C_actual (it now has workload evidence).

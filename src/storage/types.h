@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace holix {
@@ -59,5 +60,30 @@ template <>
 struct ValueTypeOf<double> {
   static constexpr ValueType value = ValueType::kDouble;
 };
+
+/// Carries a column element type through a generic lambda:
+/// `[](auto tag) { using T = typename decltype(tag)::type; ... }`.
+template <typename T>
+struct TypeTag {
+  using type = T;
+};
+
+/// Invokes `fn(TypeTag<T>{})` for the indexable (cracker-capable) element
+/// type matching \p t. Keys must order totally and partition exactly, so the
+/// engine cracks integer attributes; kDouble columns are storage-only until
+/// a comparator-safe kernel lands. Throws std::logic_error for those.
+template <typename Fn>
+decltype(auto) DispatchIndexableType(ValueType t, Fn&& fn) {
+  switch (t) {
+    case ValueType::kInt32:
+      return fn(TypeTag<int32_t>{});
+    case ValueType::kInt64:
+      return fn(TypeTag<int64_t>{});
+    case ValueType::kDouble:
+      break;
+  }
+  throw std::logic_error(std::string("no indexable runtime for type ") +
+                         ValueTypeName(t));
+}
 
 }  // namespace holix

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
 namespace holix {
 
@@ -88,5 +89,21 @@ class Rng {
 
   uint64_t state_[4];
 };
+
+/// Uniform value in (lo, hi] drawn in the element type's own arithmetic.
+/// The span is computed in the unsigned companion type, so domains as wide
+/// as the whole of T (e.g. [INT64_MIN, INT64_MAX]) never overflow the way a
+/// detour through int64_t would for narrower or equally wide types.
+/// Requires lo < hi.
+template <typename T>
+T SamplePivotBetween(Rng& rng, T lo, T hi) {
+  static_assert(std::is_integral_v<T>,
+                "pivot sampling is defined for integral key types");
+  using U = std::make_unsigned_t<T>;
+  const U span = static_cast<U>(hi) - static_cast<U>(lo);  // >= 1
+  const U offset =
+      static_cast<U>(rng.Below(static_cast<uint64_t>(span))) + U{1};
+  return static_cast<T>(static_cast<U>(lo) + offset);
+}
 
 }  // namespace holix

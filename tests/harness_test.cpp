@@ -38,6 +38,31 @@ TEST_F(ReportCsvTest, SaveCsvFailsOnUnwritablePath) {
   EXPECT_FALSE(table.SaveCsv((temp_dir() / "no_dir" / "x.csv").string()));
 }
 
+TEST_F(ReportCsvTest, SaveJsonEscapesAndStructures) {
+  ReportTable table("fig \"x\"");
+  table.SetHeader({"clients", "seconds"});
+  table.AddRow({"1", "0.5"});
+  table.AddRow({"quote\"cell", "line\nbreak"});
+  const auto path = TempPath("table.json");
+  ASSERT_TRUE(table.SaveJson(path.string()));
+  std::ifstream in(path);
+  std::stringstream got;
+  got << in.rdbuf();
+  const std::string s = got.str();
+  EXPECT_NE(s.find("\"title\": \"fig \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(s.find("\"generated_unix\": "), std::string::npos);
+  EXPECT_NE(s.find("[\"clients\", \"seconds\"]"), std::string::npos);
+  EXPECT_NE(s.find("[\"1\", \"0.5\"]"), std::string::npos);
+  EXPECT_NE(s.find("\"quote\\\"cell\""), std::string::npos);
+  EXPECT_NE(s.find("\"line\\nbreak\""), std::string::npos);
+}
+
+TEST_F(ReportCsvTest, SaveJsonFailsOnUnwritablePath) {
+  ReportTable table("t");
+  table.SetHeader({"a"});
+  EXPECT_FALSE(table.SaveJson((temp_dir() / "no_dir" / "x.json").string()));
+}
+
 TEST(ResponseSeries, TotalsAndCumulative) {
   ResponseSeries s;
   for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
