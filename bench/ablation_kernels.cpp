@@ -57,6 +57,7 @@ int main() {
               FormatSeconds(series.latencies()[0])});
   }
   t.Print();
+  SaveBenchJson(t, "ablation_kernels");
   std::printf("\n# [44]: out-of-place beats the branchy kernel; parallel "
               "cracking accelerates the big early cracks\n");
   return 0;

@@ -40,6 +40,7 @@ int main() {
                 std::to_string(db.holistic()->TotalWorkerCracks())});
     }
     t.Print();
+    SaveBenchJson(t, "ablation_monitor_interval");
   }
 
   {
@@ -59,6 +60,7 @@ int main() {
                 std::to_string(db.holistic()->TotalWorkerCracks())});
     }
     t.Print();
+    SaveBenchJson(t, "ablation_monitor_impl");
   }
   std::printf("\n# shorter cycles react faster at laptop scale; kernel "
               "statistics match the paper's mechanism but need longer "

@@ -44,6 +44,7 @@ int main() {
               std::to_string(db.TotalIndexPieces())});
   }
   t.Print();
+  SaveBenchJson(t, "ablation_pivot_policy");
   std::printf("\n# paper (§4.2): random pivots win — no piece-size "
               "bookkeeping, balanced convergence\n");
   return 0;

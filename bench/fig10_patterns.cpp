@@ -35,6 +35,7 @@ int main() {
       t.AddRow({std::to_string(i + 1), std::to_string(queries[i].low)});
     }
     t.Print();
+    SaveBenchJson(t, std::string("fig10_") + QueryPatternName(p));
 
     SampleStats stats;
     for (const auto& q : queries) stats.Add(static_cast<double>(q.low));

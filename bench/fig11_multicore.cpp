@@ -52,6 +52,7 @@ int main() {
     t.AddRow(row);
   }
   t.Print();
+  SaveBenchJson(t, "fig11");
   std::printf("\n# paper: all methods improve with cores; HI wins at every "
               "core count because it is active all the time\n");
   return 0;

@@ -46,6 +46,7 @@ int main() {
               FormatSeconds(hi)});
   }
   t.Print();
+  SaveBenchJson(t, "fig12");
   std::printf("\n# paper: HI outperforms PVDC by 2-10x depending on "
               "pattern, and never loses to PVSDC\n");
   return 0;

@@ -16,14 +16,19 @@ int main() {
 
   struct Panel {
     const char* name;
+    const char* slug;  ///< BENCH_<slug>.json file name.
     bool skewed_attrs;
     QueryPattern pattern;
   };
   const Panel panels[] = {
-      {"(a) random attrs, random values", false, QueryPattern::kRandom},
-      {"(b) random attrs, periodic values", false, QueryPattern::kPeriodic},
-      {"(c) skewed attrs, random values", true, QueryPattern::kRandom},
-      {"(d) skewed attrs, periodic values", true, QueryPattern::kPeriodic},
+      {"(a) random attrs, random values", "fig13a", false,
+       QueryPattern::kRandom},
+      {"(b) random attrs, periodic values", "fig13b", false,
+       QueryPattern::kPeriodic},
+      {"(c) skewed attrs, random values", "fig13c", true,
+       QueryPattern::kRandom},
+      {"(d) skewed attrs, periodic values", "fig13d", true,
+       QueryPattern::kPeriodic},
   };
   const Strategy strategies[] = {Strategy::kW1, Strategy::kW2, Strategy::kW3,
                                  Strategy::kW4};
@@ -63,6 +68,7 @@ int main() {
       t.AddRow(row);
     }
     t.Print();
+    SaveBenchJson(t, panel.slug);
   }
   std::printf("\n# paper: HI gains grow with #attributes; W4 (random) is "
               "robust and clearly best on periodic values\n");

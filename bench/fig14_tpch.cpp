@@ -53,6 +53,7 @@ void RunQuery(const char* title, uint64_t seed, MakeParams make_params,
               FormatSeconds(holi_t[i])});
   }
   t.Print();
+  SaveBenchJson(t, "fig14");
   auto total = [](const std::vector<double>& v) {
     double s = 0;
     for (double x : v) s += x;

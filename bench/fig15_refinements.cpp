@@ -50,6 +50,7 @@ int main() {
     t.AddRow(row);
   }
   t.Print();
+  SaveBenchJson(t, "fig15");
   std::printf("\n# paper: cost falls as x grows, with diminishing returns "
               "from 16 to 32 -> x=16 is the default\n");
   return 0;

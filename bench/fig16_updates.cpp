@@ -86,6 +86,7 @@ int main() {
               FormatSeconds(holistic_cost), std::to_string(merged)});
   }
   t.Print();
+  SaveBenchJson(t, "fig16");
   std::printf("\n# paper: holistic keeps its ~50%% advantage under updates; "
               "workers also consume pending inserts\n");
   return 0;

@@ -71,6 +71,7 @@ int main() {
       t.AddRow(row);
     }
     t.Print();
+    SaveBenchJson(t, "fig6a");
   }
 
   {
@@ -84,6 +85,7 @@ int main() {
                 i < h.size() ? FormatSeconds(h[i]) : "-"});
     }
     t.Print();
+    SaveBenchJson(t, "fig6b");
   }
 
   {
@@ -92,6 +94,7 @@ int main() {
     t.AddRow({"adaptive indexing", std::to_string(final_pieces[3])});
     t.AddRow({"holistic indexing", std::to_string(final_pieces[4])});
     t.Print();
+    SaveBenchJson(t, "fig6c");
   }
 
   {
@@ -105,6 +108,7 @@ int main() {
                 FormatSeconds(activations[i].cycle_seconds)});
     }
     t.Print();
+    SaveBenchJson(t, "fig6d");
     std::printf("# %zu activations total\n", n);
   }
 

@@ -55,6 +55,7 @@ int main() {
     }
   }
   t.Print();
+  SaveBenchJson(t, "fig7");
   std::printf(
       "\n# best split %s: %.2fx faster than all-user u%zu "
       "(paper: even split wins by ~2x)\n",

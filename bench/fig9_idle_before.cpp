@@ -63,6 +63,7 @@ int main() {
               i < h.size() ? FormatSeconds(h[i]) : "-"});
   }
   t.Print();
+  SaveBenchJson(t, "fig9");
   std::printf("\n# idle gap %.2fs; worker cracks during idle: %zu; "
               "totals: adaptive %.3fs vs holistic %.3fs\n",
               idle_seconds, pre_cracks, adaptive.Total(), holistic.Total());

@@ -4,6 +4,7 @@
 /// implemented systems' actual properties (which module does what), not
 /// hard-coded prose — see the assertions in tests/table1_properties_test.cpp.
 
+#include "bench_common.h"
 #include "harness/report.h"
 
 int main() {
@@ -18,6 +19,7 @@ int main() {
   t.AddRow({"Adaptive", "no", "no", "no", "partial", "low", "dynamic"});
   t.AddRow({"Holistic", "yes", "yes", "yes", "partial", "low", "dynamic"});
   t.Print();
+  holix::bench::SaveBenchJson(t, "table1");
   std::printf(
       "\nMapping to modules:\n"
       "  Offline  -> baselines/sorted_index.h + Database::PrepareOfflineIndexes\n"

@@ -1,0 +1,147 @@
+/// \file holix_cli.cpp
+/// \brief Interactive REPL over the Holix wire protocol: connect to a
+/// running holix_server, open a session, and issue queries line by line.
+///
+///   holix_cli [--host 127.0.0.1] [--port N]
+///
+/// Commands (one per line; EOF or `quit` exits):
+///   count  <table> <column> <low> <high>
+///   sum    <table> <column> <low> <high>
+///   psum   <table> <where_col> <project_col> <low> <high>
+///   select <table> <column> <low> <high>
+///   insert <table> <column> <value>
+///   delete <table> <column> <value>
+///   help
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  count  <table> <column> <low> <high>   select count(*)\n"
+      "  sum    <table> <column> <low> <high>   select sum(column)\n"
+      "  psum   <table> <where> <proj> <low> <high>  projected sum\n"
+      "  select <table> <column> <low> <high>   qualifying rowids\n"
+      "  insert <table> <column> <value>\n"
+      "  delete <table> <column> <value>\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else {
+      std::fprintf(stderr, "usage: holix_cli [--host H] [--port N]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+  if (port == 0) {
+    std::fprintf(stderr, "holix_cli: --port is required\n");
+    return 2;
+  }
+
+  holix::net::HolixClient client;
+  try {
+    client.Connect(host, port);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "holix_cli: %s\n", e.what());
+    return 1;
+  }
+  const uint64_t session = client.OpenSession();
+  std::printf("connected to %s:%u (session %llu)\n", host.c_str(), port,
+              static_cast<unsigned long long>(session));
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty() || cmd[0] == '#') continue;
+    try {
+      if (cmd == "quit" || cmd == "exit") {
+        break;
+      } else if (cmd == "help") {
+        PrintHelp();
+      } else if (cmd == "count" || cmd == "sum" || cmd == "select") {
+        std::string table, column;
+        int64_t low, high;
+        if (!(in >> table >> column >> low >> high)) {
+          std::printf("usage: %s <table> <column> <low> <high>\n",
+                      cmd.c_str());
+          continue;
+        }
+        if (cmd == "count") {
+          std::printf("%llu\n", static_cast<unsigned long long>(
+                                    client.CountRange(session, table, column,
+                                                      low, high)));
+        } else if (cmd == "sum") {
+          std::printf("%lld\n", static_cast<long long>(client.SumRange(
+                                    session, table, column, low, high)));
+        } else {
+          const auto rowids =
+              client.SelectRowIds(session, table, column, low, high);
+          std::printf("%zu rowids", rowids.size());
+          for (size_t i = 0; i < rowids.size() && i < 8; ++i) {
+            std::printf(" %llu", static_cast<unsigned long long>(rowids[i]));
+          }
+          std::printf(rowids.size() > 8 ? " ...\n" : "\n");
+        }
+      } else if (cmd == "psum") {
+        std::string table, where_col, proj_col;
+        int64_t low, high;
+        if (!(in >> table >> where_col >> proj_col >> low >> high)) {
+          std::printf("usage: psum <table> <where> <proj> <low> <high>\n");
+          continue;
+        }
+        std::printf("%lld\n",
+                    static_cast<long long>(client.ProjectSum(
+                        session, table, where_col, proj_col, low, high)));
+      } else if (cmd == "insert" || cmd == "delete") {
+        std::string table, column;
+        int64_t value;
+        if (!(in >> table >> column >> value)) {
+          std::printf("usage: %s <table> <column> <value>\n", cmd.c_str());
+          continue;
+        }
+        if (cmd == "insert") {
+          std::printf("rowid %llu\n",
+                      static_cast<unsigned long long>(
+                          client.Insert(session, table, column, value)));
+        } else {
+          std::printf("%s\n", client.Delete(session, table, column, value)
+                                  ? "deleted"
+                                  : "not found");
+        }
+      } else {
+        std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());
+      }
+    } catch (const std::exception& e) {
+      std::printf("error: %s\n", e.what());
+      if (!client.connected()) return 1;
+    }
+  }
+  if (client.connected()) client.CloseSession(session);
+  return 0;
+}

@@ -1,0 +1,108 @@
+/// \file holix_server_main.cpp
+/// \brief Standalone Holix network server: loads a synthetic table and
+/// serves it over the wire protocol until SIGINT/SIGTERM, then shuts down
+/// cleanly (drains in-flight queries) and exits 0.
+///
+///   holix_server [--port N] [--mode adaptive|holistic|...] [--rows N]
+///                [--attrs N] [--threads N] [--seed N]
+///
+/// `--port 0` (the default) binds an ephemeral port; the chosen port is
+/// printed as `listening on 127.0.0.1:<port>` so scripts (CI's server
+/// smoke step) can parse it.
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "engine/database.h"
+#include "harness/runner.h"
+#include "server/server.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+holix::ExecMode ParseMode(const std::string& name) {
+  using holix::ExecMode;
+  for (ExecMode m : {ExecMode::kScan, ExecMode::kOffline, ExecMode::kOnline,
+                     ExecMode::kAdaptive, ExecMode::kStochastic,
+                     ExecMode::kCCGI, ExecMode::kHolistic}) {
+    if (name == holix::ExecModeName(m)) return m;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 0;
+  holix::ExecMode mode = holix::ExecMode::kAdaptive;
+  size_t rows = 1u << 18;
+  size_t attrs = 4;
+  size_t threads = 2;
+  uint64_t seed = 1907;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--mode") {
+      mode = ParseMode(next());
+    } else if (arg == "--rows") {
+      rows = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--attrs") {
+      attrs = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      std::fprintf(stderr,
+                   "usage: holix_server [--port N] [--mode M] [--rows N] "
+                   "[--attrs N] [--threads N] [--seed N]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  holix::DatabaseOptions opts;
+  opts.mode = mode;
+  opts.user_threads = threads;
+  holix::Database db(opts);
+  holix::LoadUniformTable(db, "r", attrs, rows, /*domain=*/int64_t{1} << 30,
+                          seed);
+  std::printf("loaded table r: %zu attrs x %zu rows (mode=%s)\n", attrs, rows,
+              holix::ExecModeName(mode));
+
+  holix::net::ServerOptions server_opts;
+  server_opts.port = port;
+  holix::net::HolixServer server(db, server_opts);
+  server.Start();
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down: %llu connections, %llu requests served\n",
+              static_cast<unsigned long long>(server.TotalConnections()),
+              static_cast<unsigned long long>(server.TotalRequests()));
+  server.Stop();
+  std::printf("clean shutdown\n");
+  return 0;
+}

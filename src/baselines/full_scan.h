@@ -16,16 +16,21 @@
 
 namespace holix {
 
-/// Counts values in [low, high) by scanning \p data in parallel shards.
+/// Counts values in [low, high) — or [low, high] when \p closed_high — by
+/// scanning \p data in parallel shards. The closed bound exists so callers
+/// can select up to max(T) inclusive, which the exclusive form cannot
+/// express without overflowing.
 template <typename T>
 size_t ParallelScanCount(const T* data, size_t n, T low, T high,
-                         ThreadPool& pool, size_t threads) {
+                         ThreadPool& pool, size_t threads,
+                         bool closed_high = false) {
+  const auto hit = [low, high, closed_high](T v) {
+    return v >= low && (closed_high ? v <= high : v < high);
+  };
   threads = std::max<size_t>(1, std::min(threads, pool.size() + 1));
   if (threads <= 1 || n < (1u << 14)) {
     size_t count = 0;
-    for (size_t i = 0; i < n; ++i) {
-      count += (data[i] >= low && data[i] < high) ? 1 : 0;
-    }
+    for (size_t i = 0; i < n; ++i) count += hit(data[i]) ? 1 : 0;
     return count;
   }
   std::vector<size_t> partial(threads, 0);
@@ -34,9 +39,7 @@ size_t ParallelScanCount(const T* data, size_t n, T low, T high,
     const size_t lo = std::min(n, t * chunk);
     const size_t hi = std::min(n, lo + chunk);
     size_t count = 0;
-    for (size_t i = lo; i < hi; ++i) {
-      count += (data[i] >= low && data[i] < high) ? 1 : 0;
-    }
+    for (size_t i = lo; i < hi; ++i) count += hit(data[i]) ? 1 : 0;
     partial[t] = count;
   });
   size_t total = 0;
@@ -44,15 +47,20 @@ size_t ParallelScanCount(const T* data, size_t n, T low, T high,
   return total;
 }
 
-/// Materializes the positions of values in [low, high), in row order.
+/// Materializes the positions of values in [low, high) — or [low, high]
+/// when \p closed_high — in row order.
 template <typename T>
 PositionList ParallelScanSelect(const T* data, size_t n, T low, T high,
-                                ThreadPool& pool, size_t threads) {
+                                ThreadPool& pool, size_t threads,
+                                bool closed_high = false) {
+  const auto hit = [low, high, closed_high](T v) {
+    return v >= low && (closed_high ? v <= high : v < high);
+  };
   threads = std::max<size_t>(1, std::min(threads, pool.size() + 1));
   if (threads <= 1 || n < (1u << 14)) {
     PositionList out;
     for (size_t i = 0; i < n; ++i) {
-      if (data[i] >= low && data[i] < high) out.push_back(i);
+      if (hit(data[i])) out.push_back(i);
     }
     return out;
   }
@@ -63,7 +71,7 @@ PositionList ParallelScanSelect(const T* data, size_t n, T low, T high,
     const size_t hi = std::min(n, lo + chunk);
     PositionList& out = partial[t];
     for (size_t i = lo; i < hi; ++i) {
-      if (data[i] >= low && data[i] < high) out.push_back(i);
+      if (hit(data[i])) out.push_back(i);
     }
   });
   PositionList out;

@@ -55,6 +55,23 @@ class SortedIndex {
   /// Count of values in [low, high).
   size_t CountRange(T low, T high) const { return SelectRange(low, high).size(); }
 
+  /// Positions of values in the closed range [low, high]: the form that can
+  /// reach max(T), which the exclusive-high select cannot express.
+  PositionRange SelectRangeClosed(T low, T high) const {
+    const auto cmp = [](const Entry& e, T v) { return e.value < v; };
+    const auto b = std::lower_bound(entries_.begin(), entries_.end(), low, cmp);
+    const auto e = std::upper_bound(
+        entries_.begin(), entries_.end(), high,
+        [](T v, const Entry& en) { return v < en.value; });
+    return {static_cast<size_t>(b - entries_.begin()),
+            static_cast<size_t>(e - entries_.begin())};
+  }
+
+  /// Count of values in the closed range [low, high].
+  size_t CountRangeClosed(T low, T high) const {
+    return SelectRangeClosed(low, high).size();
+  }
+
   /// Value at sorted position \p pos.
   T ValueAt(size_t pos) const { return entries_[pos].value; }
   /// Rowid at sorted position \p pos (tuple reconstruction).

@@ -157,6 +157,32 @@ class CrackerColumn {
     return {b, e};
   }
 
+  /// Range select over the closed interval [low, high]: the form that can
+  /// reach max(T), which SelectRange's exclusive high cannot express
+  /// without overflowing. Away from the type boundary this is exactly
+  /// SelectRange(low, high + 1); at high == max(T) it cracks the low bound
+  /// only and the qualifying rows run to the end of the column.
+  PositionRange SelectRangeClosed(T low, T high, const CrackConfig& cfg = {}) {
+    if (high < std::numeric_limits<T>::max()) {
+      return SelectRange(low, static_cast<T>(high + 1), cfg);
+    }
+    stats_.accesses.fetch_add(1, std::memory_order_relaxed);
+    if (low > high) return {0, 0};
+    MergePendingAtLeast(low);
+    if (size() == 0) return {0, 0};
+    ReadGuard column_guard(column_latch_);
+    {
+      std::shared_lock<std::shared_mutex> lk(tree_mu_);
+      if (index_.HasBoundary(low)) {
+        const size_t b = index_.FindPiece(low, size()).begin;
+        stats_.exact_hits.fetch_add(1, std::memory_order_relaxed);
+        return {b, size()};
+      }
+    }
+    const size_t b = CrackAtBlocking(low, cfg);
+    return {b, size()};
+  }
+
   /// Cracks at a single bound (blocking); returns the first position whose
   /// value is >= w. Exposed for operators that need one-sided predicates.
   size_t CrackAtBlocking(T w, const CrackConfig& cfg = {}) {
@@ -324,14 +350,18 @@ class CrackerColumn {
     // here, and count without the in-flight rows (lost-update window).
     WriteGuard column_guard(column_latch_);
     std::unique_lock<std::shared_mutex> lk(tree_mu_);
-    auto ins = pending_.TakeInsertsInRange(low, high);
-    auto del = pending_.TakeDeletesInRange(low, high);
-    if (ins.empty() && del.empty()) return;
-    auto nodes = index_.CollectBoundaries();
-    for (const auto& [v, rid] : ins) RippleInsert(nodes, v, rid);
-    for (const auto& [v, rid] : del) RippleDelete(nodes, v, rid);
-    stats_.merged_inserts.fetch_add(ins.size(), std::memory_order_relaxed);
-    stats_.merged_deletes.fetch_add(del.size(), std::memory_order_relaxed);
+    ApplyTakenLocked(pending_.TakeInsertsInRange(low, high),
+                     pending_.TakeDeletesInRange(low, high));
+  }
+
+  /// Merges every pending insert/delete whose value is >= \p low (the
+  /// closed tail [low, max(T)] that MergePendingInRange cannot express).
+  void MergePendingAtLeast(T low) {
+    if (!pending_.AnyAtLeast(low)) return;
+    WriteGuard column_guard(column_latch_);
+    std::unique_lock<std::shared_mutex> lk(tree_mu_);
+    ApplyTakenLocked(pending_.TakeInsertsAtLeast(low),
+                     pending_.TakeDeletesAtLeast(low));
   }
 
   /// Suggests a refinement pivot inside the biggest (or smallest) piece.
@@ -414,6 +444,18 @@ class CrackerColumn {
   }
 
  private:
+  /// Ripple-applies already-extracted pending entries. The caller holds the
+  /// column write latch and the unique tree lock.
+  void ApplyTakenLocked(std::vector<std::pair<T, RowId>> ins,
+                        std::vector<std::pair<T, RowId>> del) {
+    if (ins.empty() && del.empty()) return;
+    auto nodes = index_.CollectBoundaries();
+    for (const auto& [v, rid] : ins) RippleInsert(nodes, v, rid);
+    for (const auto& [v, rid] : del) RippleDelete(nodes, v, rid);
+    stats_.merged_inserts.fetch_add(ins.size(), std::memory_order_relaxed);
+    stats_.merged_deletes.fetch_add(del.size(), std::memory_order_relaxed);
+  }
+
   void InitDomain() {
     row_count_.store(values_.size(), std::memory_order_relaxed);
     if (!values_.empty()) {
@@ -536,8 +578,13 @@ class CrackerColumn {
       hi_v = piece.hi_value;
     }
     const T low = lo_v.value_or(std::numeric_limits<T>::lowest());
-    const T high = hi_v.value_or(std::numeric_limits<T>::max());
-    MergePendingInRange(low, high);
+    if (hi_v.has_value()) {
+      MergePendingInRange(low, *hi_v);
+    } else {
+      // Tail piece: the closed tail [low, max(T)] — an exclusive high of
+      // max(T) would leave a pending row holding exactly max(T) unmerged.
+      MergePendingAtLeast(low);
+    }
   }
 
   /// Ripple-inserts (v, rid), keeping every boundary valid. The caller

@@ -122,10 +122,10 @@ class Database {
   RowId Insert(const ColumnHandle& column, int64_t value,
                const QueryContext& qctx = {});
 
-  /// Pending-queue delete of one row holding \p value. \return true when a
-  /// matching row was found. Limitation: a value equal to the element
-  /// type's maximum is not deletable through this path (the unit-range
-  /// select cannot express [max, max+1)) and reports false.
+  /// Pending-queue delete of one row holding \p value. Resolves the row via
+  /// the closed unit select [value, value], so any representable value —
+  /// including the element type's maximum — is deletable. \return true when
+  /// a matching row was found.
   bool Delete(const ColumnHandle& column, int64_t value,
               const QueryContext& qctx = {});
 

@@ -22,30 +22,32 @@ Rng& ThreadLocalQueryRng(uint64_t seed) {
 }
 
 /// Query bounds arrive as int64 at the facade; narrower column types clamp
-/// them to the type's domain. The exclusive upper bound saturates at
-/// max(T), so the single value max(T) is not selectable through the int64
-/// facade on narrower columns at all — an accepted limitation (the select
-/// machinery is exclusive-high throughout; integer workloads never sit on
-/// the type boundary).
+/// them to the type's domain. When the int64 exclusive high exceeds max(T)
+/// the range degrades to the *closed* bound [lo, max(T)] — every value of
+/// the type up to and including max(T) satisfies the original predicate —
+/// and the typed select machinery runs its closed-bound primitive, so a
+/// row holding exactly max(T) stays selectable through the int64 facade.
 template <typename T>
 struct Bounds {
   T lo{};
   T hi{};
   bool empty = false;
+  bool closed_high = false;  ///< Select [lo, hi] instead of [lo, hi).
 };
 
 template <typename T>
 Bounds<T> ClampBounds(int64_t lo, int64_t hi) {
-  if (lo >= hi) return {T{}, T{}, true};
+  if (lo >= hi) return {T{}, T{}, true, false};
   if constexpr (std::is_same_v<T, int64_t>) {
-    return {lo, hi, false};
+    return {lo, hi, false, false};
   } else {
     constexpr int64_t tmin = std::numeric_limits<T>::min();
     constexpr int64_t tmax = std::numeric_limits<T>::max();
-    if (hi <= tmin || lo > tmax) return {T{}, T{}, true};
+    if (hi <= tmin || lo > tmax) return {T{}, T{}, true, false};
     const T l = static_cast<T>(std::max<int64_t>(lo, tmin));
-    const T h = static_cast<T>(std::min<int64_t>(hi, tmax));
-    return {l, h, l >= h};
+    if (hi > tmax) return {l, static_cast<T>(tmax), false, true};
+    const T h = static_cast<T>(hi);
+    return {l, h, l >= h, false};
   }
 }
 
@@ -130,9 +132,17 @@ class ExecutorBase : public QueryExecutor {
     return fresh;
   }
 
+  /// Sorted-index range of \p b (closed or half-open high).
+  template <typename T>
+  static PositionRange SortedSelect(const SortedIndex<T>& sorted,
+                                    const Bounds<T>& b) {
+    return b.closed_high ? sorted.SelectRangeClosed(b.lo, b.hi)
+                         : sorted.SelectRange(b.lo, b.hi);
+  }
+
   template <typename T>
   int64_t SortedSum(const SortedIndex<T>& sorted, const Bounds<T>& b) const {
-    const PositionRange r = sorted.SelectRange(b.lo, b.hi);
+    const PositionRange r = SortedSelect(sorted, b);
     int64_t sum = 0;
     for (size_t i = r.begin; i < r.end; ++i) {
       sum += static_cast<int64_t>(sorted.ValueAt(i));
@@ -144,7 +154,8 @@ class ExecutorBase : public QueryExecutor {
   size_t ScanCount(ColumnEntry& e, const Bounds<T>& b) const {
     const Column<T>& base = *e.runtime<T>().base;
     return ParallelScanCount(base.data(), base.size(), b.lo, b.hi,
-                             *ctx_.query_pool, ctx_.options->user_threads);
+                             *ctx_.query_pool, ctx_.options->user_threads,
+                             b.closed_high);
   }
 
   template <typename T>
@@ -153,7 +164,8 @@ class ExecutorBase : public QueryExecutor {
     const T* data = base.data();
     int64_t sum = 0;
     for (size_t i = 0; i < base.size(); ++i) {
-      if (data[i] >= b.lo && data[i] < b.hi) {
+      if (data[i] >= b.lo &&
+          (b.closed_high ? data[i] <= b.hi : data[i] < b.hi)) {
         sum += static_cast<int64_t>(data[i]);
       }
     }
@@ -164,7 +176,8 @@ class ExecutorBase : public QueryExecutor {
   PositionList ScanSelect(ColumnEntry& e, const Bounds<T>& b) const {
     const Column<T>& base = *e.runtime<T>().base;
     return ParallelScanSelect(base.data(), base.size(), b.lo, b.hi,
-                              *ctx_.query_pool, ctx_.options->user_threads);
+                              *ctx_.query_pool, ctx_.options->user_threads,
+                              b.closed_high);
   }
 
   /// Sorts every registered attribute (offline indexing's investment).
@@ -239,7 +252,7 @@ class OfflineExecutor : public ExecutorBase {
     return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
       using T = typename decltype(tag)::type;
       const auto b = ClampBounds<T>(lo, hi);
-      return b.empty ? 0 : EnsureSorted<T>(e)->CountRange(b.lo, b.hi);
+      return b.empty ? 0 : SortedSelect(*EnsureSorted<T>(e), b).size();
     });
   }
 
@@ -263,7 +276,7 @@ class OfflineExecutor : public ExecutorBase {
       const auto b = ClampBounds<T>(lo, hi);
       if (b.empty) return {};
       auto sorted = EnsureSorted<T>(e);
-      return sorted->FetchRowIds(sorted->SelectRange(b.lo, b.hi));
+      return sorted->FetchRowIds(SortedSelect(*sorted, b));
     });
   }
 
@@ -295,7 +308,7 @@ class OnlineExecutor : public ExecutorBase {
       if (query_no < ctx_.options->online_observation_window) {
         return ScanCount<T>(e, b);
       }
-      return EnsureSorted<T>(e)->CountRange(b.lo, b.hi);
+      return SortedSelect(*EnsureSorted<T>(e), b).size();
     });
   }
 
@@ -427,15 +440,15 @@ class CrackingExecutor : public ExecutorBase {
       using T = typename decltype(tag)::type;
       if (!InDomain<T>(value)) return false;
       const T v = static_cast<T>(value);
-      if (v == std::numeric_limits<T>::max()) return false;  // v+1 overflow
       auto cracker = EnsureCracker<T>(e, qctx);
       const CrackConfig cfg = QueryCrackConfig(qctx);
-      // Resolve the rowid of one matching row: select the unit range (this
-      // is itself an index-refining access) and take the first qualifying
-      // rowid. A concurrent Ripple merge (holistic worker) may shift
-      // positions between the select and the read, so verify and retry.
+      // Resolve the rowid of one matching row: select the closed unit range
+      // [v, v] (this is itself an index-refining access; the closed form
+      // keeps v == max(T) deletable) and take the first qualifying rowid. A
+      // concurrent Ripple merge (holistic worker) may shift positions
+      // between the select and the read, so verify and retry.
       for (int attempt = 0; attempt < 8; ++attempt) {
-        const PositionRange r = cracker->SelectRange(v, v + 1, cfg);
+        const PositionRange r = cracker->SelectRangeClosed(v, v, cfg);
         if (r.empty()) return false;
         bool found = false;
         RowId rid = 0;
@@ -491,8 +504,10 @@ class CrackingExecutor : public ExecutorBase {
                        const QueryContext& qctx,
                        std::shared_ptr<CrackerColumn<T>>* out) {
     auto cracker = EnsureCracker<T>(e, qctx);
-    const PositionRange r =
-        cracker->SelectRange(b.lo, b.hi, QueryCrackConfig(qctx));
+    const CrackConfig cfg = QueryCrackConfig(qctx);
+    const PositionRange r = b.closed_high
+                                ? cracker->SelectRangeClosed(b.lo, b.hi, cfg)
+                                : cracker->SelectRange(b.lo, b.hi, cfg);
     AfterSelect(e);
     if (out != nullptr) *out = std::move(cracker);
     return r;

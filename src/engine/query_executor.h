@@ -48,8 +48,9 @@ class QueryExecutor {
   virtual ~QueryExecutor() = default;
 
   /// select count(*) where low <= column < high. Bounds are int64 at the
-  /// interface; narrower column types clamp them to the type's domain (the
-  /// exclusive upper bound saturates at max(T)).
+  /// interface; narrower column types clamp them to the type's domain (an
+  /// exclusive upper bound beyond max(T) degrades to the closed bound
+  /// [low, max(T)], so rows holding exactly max(T) stay selectable).
   virtual size_t CountRange(const ColumnHandle& column, int64_t low,
                             int64_t high, const QueryContext& qctx) = 0;
 

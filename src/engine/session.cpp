@@ -61,6 +61,10 @@ std::future<size_t> Session::SubmitCountRange(ColumnHandle column,
   return fut;
 }
 
+void Session::SubmitRaw(std::function<void()> work) {
+  db_->client_pool().Submit(std::move(work));
+}
+
 std::future<int64_t> Session::SubmitSumRange(ColumnHandle column, int64_t low,
                                              int64_t high) {
   Database* db = db_;

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <string>
 #include <unordered_map>
@@ -53,8 +54,7 @@ class Session {
                      const ColumnHandle& project_column, int64_t low,
                      int64_t high);
   RowId Insert(const ColumnHandle& column, int64_t value);
-  /// \return true when a matching row was found (values equal to the
-  /// element type's maximum are not deletable; see Database::Delete).
+  /// \return true when a matching row was found (see Database::Delete).
   bool Delete(const ColumnHandle& column, int64_t value);
 
   // --- Name-based conveniences (resolve through the session cache) -------
@@ -84,6 +84,14 @@ class Session {
                                        int64_t high);
   std::future<int64_t> SubmitSumRange(ColumnHandle column, int64_t low,
                                       int64_t high);
+
+  /// Completion-hook submission: hands \p work to the database's client
+  /// pool as-is. This is how the network server attaches continuations
+  /// (execute query -> encode -> write socket) without parking a thread on
+  /// a future per in-flight request; the closure runs on a pool thread, so
+  /// it must not touch this session's handle cache or RNG. The database
+  /// must outlive the closure's completion.
+  void SubmitRaw(std::function<void()> work);
 
   /// The session's private RNG (stochastic pivot source).
   Rng& rng() { return rng_; }

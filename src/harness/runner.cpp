@@ -52,10 +52,10 @@ RunResult RunWorkload(Database& db, const std::string& table,
   return result;
 }
 
-double RunWorkloadConcurrent(Database& db, const std::string& table,
-                             const std::vector<std::string>& columns,
-                             const std::vector<RangeQuery>& queries,
-                             size_t clients) {
+ConcurrentRunResult RunWorkloadConcurrentChecked(
+    Database& db, const std::string& table,
+    const std::vector<std::string>& columns,
+    const std::vector<RangeQuery>& queries, size_t clients) {
   clients = std::max<size_t>(1, clients);
   // Each client is a session driven by the database's client pool — the
   // paper's §5.8 model of concurrent client traffic — instead of a raw
@@ -73,6 +73,7 @@ double RunWorkloadConcurrent(Database& db, const std::string& table,
     }
   }
   std::atomic<size_t> next{0};
+  std::atomic<uint64_t> checksum{0};
   std::vector<std::future<void>> done;
   done.reserve(clients);
   Timer wall;
@@ -81,18 +82,29 @@ double RunWorkloadConcurrent(Database& db, const std::string& table,
         [&, c] {
           Session& session = sessions[c];
           const auto& hs = handles[c];
+          uint64_t local = 0;
           for (;;) {
             const size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= queries.size()) return;
+            if (i >= queries.size()) break;
             const RangeQuery& q = queries[i];
-            session.CountRange(hs[q.attr], q.low, q.high);
+            local += session.CountRange(hs[q.attr], q.low, q.high);
           }
+          checksum.fetch_add(local, std::memory_order_relaxed);
         });
     done.push_back(driver->get_future());
     pool.Submit([driver] { (*driver)(); });
   }
   for (auto& f : done) f.get();
-  return wall.ElapsedSeconds();
+  const double seconds = wall.ElapsedSeconds();
+  return {seconds, checksum.load(std::memory_order_relaxed)};
+}
+
+double RunWorkloadConcurrent(Database& db, const std::string& table,
+                             const std::vector<std::string>& columns,
+                             const std::vector<RangeQuery>& queries,
+                             size_t clients) {
+  return RunWorkloadConcurrentChecked(db, table, columns, queries, clients)
+      .seconds;
 }
 
 }  // namespace holix

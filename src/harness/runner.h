@@ -35,9 +35,23 @@ RunResult RunWorkload(Database& db, const std::string& table,
                       const std::vector<std::string>& columns,
                       const std::vector<RangeQuery>& queries);
 
+/// Result of a concurrent (multi-client) replay.
+struct ConcurrentRunResult {
+  double seconds;            ///< Total wall-clock seconds.
+  uint64_t result_checksum;  ///< Sum of per-query counts across clients.
+};
+
 /// Replays \p queries with \p clients concurrent client sessions driven by
 /// the database's client pool, each taking queries round-robin (the §5.8
-/// concurrent-traffic model). Returns total wall-clock seconds.
+/// concurrent-traffic model). The checksum is order-independent, so it is
+/// comparable across client counts, modes, and transports (fig17_socket
+/// matches it against the loopback-TCP run).
+ConcurrentRunResult RunWorkloadConcurrentChecked(
+    Database& db, const std::string& table,
+    const std::vector<std::string>& columns,
+    const std::vector<RangeQuery>& queries, size_t clients);
+
+/// Back-compat shim: seconds only.
 double RunWorkloadConcurrent(Database& db, const std::string& table,
                              const std::vector<std::string>& columns,
                              const std::vector<RangeQuery>& queries,

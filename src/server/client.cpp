@@ -1,0 +1,265 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace holix::net {
+
+namespace {
+
+[[noreturn]] void ThrowErrno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HolixClient::~HolixClient() { Close(); }
+
+HolixClient::HolixClient(HolixClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      acc_(std::move(other.acc_)),
+      stash_(std::move(other.stash_)) {}
+
+HolixClient& HolixClient::operator=(HolixClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    acc_ = std::move(other.acc_);
+    stash_ = std::move(other.stash_);
+  }
+  return *this;
+}
+
+void HolixClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  acc_.clear();
+  stash_.clear();
+}
+
+void HolixClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) ThrowErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    Close();
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Version handshake before anything else.
+  const uint64_t id = SendMessage(Hello{});
+  (void)Expect<HelloAck>(AwaitFrame(id));
+}
+
+void HolixClient::SendBytes(const std::vector<uint8_t>& bytes) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ThrowErrno("send");
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+Frame HolixClient::AwaitFrame(uint64_t request_id) {
+  // Already stashed by an earlier out-of-order read?
+  if (auto it = stash_.find(request_id); it != stash_.end()) {
+    Frame f = std::move(it->second);
+    stash_.erase(it);
+    return f;
+  }
+  uint8_t chunk[64 * 1024];
+  for (;;) {
+    // Drain complete frames out of the accumulator first.
+    size_t off = 0;
+    for (;;) {
+      Frame f;
+      size_t consumed = 0;
+      std::string error;
+      const DecodeStatus st = TryDecodeFrame(
+          acc_.data() + off, acc_.size() - off, &f, &consumed, &error);
+      if (st == DecodeStatus::kMalformed) {
+        Close();
+        throw std::runtime_error("malformed frame from server: " + error);
+      }
+      if (st == DecodeStatus::kNeedMore) break;
+      off += consumed;
+      if (f.request_id == request_id) {
+        acc_.erase(acc_.begin(), acc_.begin() + static_cast<ptrdiff_t>(off));
+        return f;
+      }
+      stash_.emplace(f.request_id, std::move(f));
+    }
+    acc_.erase(acc_.begin(), acc_.begin() + static_cast<ptrdiff_t>(off));
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      Close();
+      throw std::runtime_error("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      Close();
+      throw std::runtime_error("recv: " + err);
+    }
+    acc_.insert(acc_.end(), chunk, chunk + n);
+  }
+}
+
+template <typename M>
+M HolixClient::Expect(const Frame& f) {
+  if (f.type == MsgType::kError) {
+    ErrorMsg err;
+    if (DecodeMessage(f, &err)) {
+      throw std::runtime_error("server error " +
+                               std::to_string(static_cast<int>(err.code)) +
+                               ": " + err.message);
+    }
+    throw std::runtime_error("undecodable server error frame");
+  }
+  M out;
+  if (!DecodeMessage(f, &out)) {
+    throw std::runtime_error(std::string("unexpected response frame ") +
+                             MsgTypeName(f.type) + " (wanted " +
+                             MsgTypeName(M::kType) + ")");
+  }
+  return out;
+}
+
+uint64_t HolixClient::OpenSession() {
+  const uint64_t id = SendMessage(OpenSessionReq{});
+  return Expect<OpenSessionAck>(AwaitFrame(id)).session_id;
+}
+
+void HolixClient::CloseSession(uint64_t session_id) {
+  CloseSessionReq req;
+  req.session_id = session_id;
+  const uint64_t id = SendMessage(req);
+  (void)Expect<CloseSessionAck>(AwaitFrame(id));
+}
+
+uint64_t HolixClient::CountRange(uint64_t session_id, const std::string& table,
+                                 const std::string& column, int64_t low,
+                                 int64_t high) {
+  return AwaitCount(SendCountRange(session_id, table, column, low, high));
+}
+
+int64_t HolixClient::SumRange(uint64_t session_id, const std::string& table,
+                              const std::string& column, int64_t low,
+                              int64_t high) {
+  return AwaitSum(SendSumRange(session_id, table, column, low, high));
+}
+
+int64_t HolixClient::ProjectSum(uint64_t session_id, const std::string& table,
+                                const std::string& where_column,
+                                const std::string& project_column,
+                                int64_t low, int64_t high) {
+  ProjectSumReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.where_column = where_column;
+  req.project_column = project_column;
+  req.low = low;
+  req.high = high;
+  const uint64_t id = SendMessage(req);
+  return Expect<ProjectSumResult>(AwaitFrame(id)).sum;
+}
+
+std::vector<uint64_t> HolixClient::SelectRowIds(uint64_t session_id,
+                                                const std::string& table,
+                                                const std::string& column,
+                                                int64_t low, int64_t high) {
+  SelectRowIdsReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.column = column;
+  req.low = low;
+  req.high = high;
+  const uint64_t id = SendMessage(req);
+  return Expect<RowIdsResult>(AwaitFrame(id)).rowids;
+}
+
+uint64_t HolixClient::Insert(uint64_t session_id, const std::string& table,
+                             const std::string& column, int64_t value) {
+  InsertReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.column = column;
+  req.value = value;
+  const uint64_t id = SendMessage(req);
+  return Expect<InsertResult>(AwaitFrame(id)).rowid;
+}
+
+bool HolixClient::Delete(uint64_t session_id, const std::string& table,
+                         const std::string& column, int64_t value) {
+  DeleteReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.column = column;
+  req.value = value;
+  const uint64_t id = SendMessage(req);
+  return Expect<DeleteResult>(AwaitFrame(id)).found;
+}
+
+uint64_t HolixClient::SendCountRange(uint64_t session_id,
+                                     const std::string& table,
+                                     const std::string& column, int64_t low,
+                                     int64_t high) {
+  CountRangeReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.column = column;
+  req.low = low;
+  req.high = high;
+  return SendMessage(req);
+}
+
+uint64_t HolixClient::AwaitCount(uint64_t request_id) {
+  return Expect<CountResult>(AwaitFrame(request_id)).count;
+}
+
+uint64_t HolixClient::SendSumRange(uint64_t session_id,
+                                   const std::string& table,
+                                   const std::string& column, int64_t low,
+                                   int64_t high) {
+  SumRangeReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.column = column;
+  req.low = low;
+  req.high = high;
+  return SendMessage(req);
+}
+
+int64_t HolixClient::AwaitSum(uint64_t request_id) {
+  return Expect<SumResult>(AwaitFrame(request_id)).sum;
+}
+
+}  // namespace holix::net

@@ -1,0 +1,111 @@
+/// \file client.h
+/// \brief HolixClient: a small synchronous + pipelined client for the Holix
+/// wire protocol (the socket-mode counterpart of an in-process Session).
+///
+/// Thread model mirrors Session: one client object belongs to one thread.
+/// The synchronous calls are send-then-await; the pipelined calls
+/// (Send* / Await*) let a client keep several requests on the wire —
+/// responses may complete out of order on the server and are matched back
+/// by request id, with unmatched frames stashed until their Await.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace holix::net {
+
+/// A connection to a HolixServer. Movable, not copyable.
+class HolixClient {
+ public:
+  HolixClient() = default;
+  ~HolixClient();
+
+  HolixClient(HolixClient&& other) noexcept;
+  HolixClient& operator=(HolixClient&& other) noexcept;
+  HolixClient(const HolixClient&) = delete;
+  HolixClient& operator=(const HolixClient&) = delete;
+
+  /// Connects and performs the version handshake. Throws std::runtime_error
+  /// on refusal (including a server version mismatch).
+  void Connect(const std::string& host, uint16_t port);
+
+  /// Closes the socket (idempotent).
+  void Close();
+
+  bool connected() const { return fd_ >= 0; }
+
+  // --- Sessions ----------------------------------------------------------
+
+  /// Opens a server-side session; returns its id.
+  uint64_t OpenSession();
+  void CloseSession(uint64_t session_id);
+
+  // --- Synchronous query API --------------------------------------------
+
+  uint64_t CountRange(uint64_t session_id, const std::string& table,
+                      const std::string& column, int64_t low, int64_t high);
+  int64_t SumRange(uint64_t session_id, const std::string& table,
+                   const std::string& column, int64_t low, int64_t high);
+  int64_t ProjectSum(uint64_t session_id, const std::string& table,
+                     const std::string& where_column,
+                     const std::string& project_column, int64_t low,
+                     int64_t high);
+  std::vector<uint64_t> SelectRowIds(uint64_t session_id,
+                                     const std::string& table,
+                                     const std::string& column, int64_t low,
+                                     int64_t high);
+  uint64_t Insert(uint64_t session_id, const std::string& table,
+                  const std::string& column, int64_t value);
+  bool Delete(uint64_t session_id, const std::string& table,
+              const std::string& column, int64_t value);
+
+  // --- Pipelined query API ----------------------------------------------
+  //
+  // Send* writes the request and returns immediately with its request id;
+  // Await* blocks until that id's response arrives (stashing any other
+  // responses read along the way). Keeping a window of requests in flight
+  // amortizes the per-message network latency — but stay below the
+  // server's max_in_flight_per_connection or its backpressure will park
+  // the stream anyway.
+
+  uint64_t SendCountRange(uint64_t session_id, const std::string& table,
+                          const std::string& column, int64_t low,
+                          int64_t high);
+  uint64_t AwaitCount(uint64_t request_id);
+
+  uint64_t SendSumRange(uint64_t session_id, const std::string& table,
+                        const std::string& column, int64_t low, int64_t high);
+  int64_t AwaitSum(uint64_t request_id);
+
+  /// Responses read but not yet awaited.
+  size_t StashedResponses() const { return stash_.size(); }
+
+ private:
+  uint64_t NextRequestId() { return next_request_id_++; }
+  void SendBytes(const std::vector<uint8_t>& bytes);
+  template <typename M>
+  uint64_t SendMessage(const M& m) {
+    const uint64_t id = NextRequestId();
+    SendBytes(EncodeMessage(id, m));
+    return id;
+  }
+  /// Reads frames until \p request_id's response shows up; other frames
+  /// are stashed for their own Await.
+  Frame AwaitFrame(uint64_t request_id);
+  /// Decodes \p f as M, converting a server Error frame into a thrown
+  /// std::runtime_error.
+  template <typename M>
+  M Expect(const Frame& f);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::vector<uint8_t> acc_;
+  std::unordered_map<uint64_t, Frame> stash_;
+};
+
+}  // namespace holix::net

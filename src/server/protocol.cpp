@@ -1,0 +1,206 @@
+#include "server/protocol.h"
+
+#include <stdexcept>
+
+namespace holix::net {
+
+void WireWriter::Str(const std::string& s) {
+  if (s.size() > kMaxStringBytes) {
+    throw std::length_error("wire string exceeds kMaxStringBytes");
+  }
+  U16(static_cast<uint16_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+bool WireReader::Str(std::string* out) {
+  uint16_t len = 0;
+  if (!U16(&len)) return false;
+  if (len > kMaxStringBytes || remaining() < len) {
+    ok_ = false;
+    return false;
+  }
+  out->assign(reinterpret_cast<const char*>(data_ + off_), len);
+  off_ += len;
+  return true;
+}
+
+// --- message bodies --------------------------------------------------------
+
+void Hello::Encode(WireWriter& w) const {
+  w.U32(magic);
+  w.U16(version);
+}
+bool Hello::Decode(WireReader& r) { return r.U32(&magic) && r.U16(&version); }
+
+void HelloAck::Encode(WireWriter& w) const { w.U16(version); }
+bool HelloAck::Decode(WireReader& r) { return r.U16(&version); }
+
+void OpenSessionAck::Encode(WireWriter& w) const { w.U64(session_id); }
+bool OpenSessionAck::Decode(WireReader& r) { return r.U64(&session_id); }
+
+void CloseSessionReq::Encode(WireWriter& w) const { w.U64(session_id); }
+bool CloseSessionReq::Decode(WireReader& r) { return r.U64(&session_id); }
+
+void RangeReqBody::Encode(WireWriter& w) const {
+  w.U64(session_id);
+  w.Str(table);
+  w.Str(column);
+  w.I64(low);
+  w.I64(high);
+}
+bool RangeReqBody::Decode(WireReader& r) {
+  return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
+         r.I64(&low) && r.I64(&high);
+}
+
+void ProjectSumReq::Encode(WireWriter& w) const {
+  w.U64(session_id);
+  w.Str(table);
+  w.Str(where_column);
+  w.Str(project_column);
+  w.I64(low);
+  w.I64(high);
+}
+bool ProjectSumReq::Decode(WireReader& r) {
+  return r.U64(&session_id) && r.Str(&table) && r.Str(&where_column) &&
+         r.Str(&project_column) && r.I64(&low) && r.I64(&high);
+}
+
+void CountResult::Encode(WireWriter& w) const { w.U64(count); }
+bool CountResult::Decode(WireReader& r) { return r.U64(&count); }
+
+void SumResult::Encode(WireWriter& w) const { w.I64(sum); }
+bool SumResult::Decode(WireReader& r) { return r.I64(&sum); }
+
+void ProjectSumResult::Encode(WireWriter& w) const { w.I64(sum); }
+bool ProjectSumResult::Decode(WireReader& r) { return r.I64(&sum); }
+
+void RowIdsResult::Encode(WireWriter& w) const {
+  w.U32(static_cast<uint32_t>(rowids.size()));
+  for (uint64_t rid : rowids) w.U64(rid);
+}
+bool RowIdsResult::Decode(WireReader& r) {
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  // The count must match the bytes actually on the wire before any
+  // allocation happens: a lying header cannot reserve gigabytes.
+  if (r.remaining() != static_cast<size_t>(n) * sizeof(uint64_t)) {
+    return false;
+  }
+  rowids.clear();
+  rowids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t rid = 0;
+    if (!r.U64(&rid)) return false;
+    rowids.push_back(rid);
+  }
+  return true;
+}
+
+void InsertReq::Encode(WireWriter& w) const {
+  w.U64(session_id);
+  w.Str(table);
+  w.Str(column);
+  w.I64(value);
+}
+bool InsertReq::Decode(WireReader& r) {
+  return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
+         r.I64(&value);
+}
+
+void InsertResult::Encode(WireWriter& w) const { w.U64(rowid); }
+bool InsertResult::Decode(WireReader& r) { return r.U64(&rowid); }
+
+void DeleteReq::Encode(WireWriter& w) const {
+  w.U64(session_id);
+  w.Str(table);
+  w.Str(column);
+  w.I64(value);
+}
+bool DeleteReq::Decode(WireReader& r) {
+  return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
+         r.I64(&value);
+}
+
+void DeleteResult::Encode(WireWriter& w) const { w.U8(found ? 1 : 0); }
+bool DeleteResult::Decode(WireReader& r) {
+  uint8_t v = 0;
+  if (!r.U8(&v)) return false;
+  if (v > 1) return false;
+  found = v != 0;
+  return true;
+}
+
+void ErrorMsg::Encode(WireWriter& w) const {
+  w.U16(static_cast<uint16_t>(code));
+  w.Str(message);
+}
+bool ErrorMsg::Decode(WireReader& r) {
+  uint16_t c = 0;
+  if (!r.U16(&c) || !r.Str(&message)) return false;
+  code = static_cast<ErrorCode>(c);
+  return true;
+}
+
+// --- framing ---------------------------------------------------------------
+
+DecodeStatus TryDecodeFrame(const uint8_t* data, size_t size, Frame* out,
+                            size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (size < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  WireReader header(data, kFrameHeaderBytes);
+  uint32_t payload_len = 0;
+  uint8_t type = 0;
+  uint64_t request_id = 0;
+  header.U32(&payload_len);
+  header.U8(&type);
+  header.U64(&request_id);
+  // Validate the header before waiting for (or copying) the payload.
+  if (payload_len > kMaxPayloadBytes) {
+    if (error != nullptr) {
+      *error = "frame payload length " + std::to_string(payload_len) +
+               " exceeds cap " + std::to_string(kMaxPayloadBytes);
+    }
+    return DecodeStatus::kMalformed;
+  }
+  if (type == 0 || type > kMaxMsgType) {
+    if (error != nullptr) {
+      *error = "unknown message type " + std::to_string(type);
+    }
+    return DecodeStatus::kMalformed;
+  }
+  if (size < kFrameHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+  out->type = static_cast<MsgType>(type);
+  out->request_id = request_id;
+  out->payload.assign(data + kFrameHeaderBytes,
+                      data + kFrameHeaderBytes + payload_len);
+  *consumed = kFrameHeaderBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello: return "Hello";
+    case MsgType::kHelloAck: return "HelloAck";
+    case MsgType::kOpenSession: return "OpenSession";
+    case MsgType::kOpenSessionAck: return "OpenSessionAck";
+    case MsgType::kCloseSession: return "CloseSession";
+    case MsgType::kCloseSessionAck: return "CloseSessionAck";
+    case MsgType::kCountRange: return "CountRange";
+    case MsgType::kCountResult: return "CountResult";
+    case MsgType::kSumRange: return "SumRange";
+    case MsgType::kSumResult: return "SumResult";
+    case MsgType::kProjectSum: return "ProjectSum";
+    case MsgType::kProjectSumResult: return "ProjectSumResult";
+    case MsgType::kSelectRowIds: return "SelectRowIds";
+    case MsgType::kRowIdsResult: return "RowIdsResult";
+    case MsgType::kInsert: return "Insert";
+    case MsgType::kInsertResult: return "InsertResult";
+    case MsgType::kDelete: return "Delete";
+    case MsgType::kDeleteResult: return "DeleteResult";
+    case MsgType::kError: return "Error";
+  }
+  return "?";
+}
+
+}  // namespace holix::net

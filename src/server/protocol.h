@@ -1,0 +1,363 @@
+/// \file protocol.h
+/// \brief The Holix wire protocol: versioned, length-prefixed binary frames
+/// carrying the engine's §3.1 operator shapes over a byte stream.
+///
+/// Frame layout (all integers little-endian, explicitly serialized — the
+/// encoder never memcpys structs, so the format is stable across ABIs):
+///
+///   u32  payload_len   (bounded by kMaxPayloadBytes BEFORE any allocation)
+///   u8   msg_type      (MsgType; unknown values reject the frame)
+///   u64  request_id    (echoed verbatim in the response frame, so clients
+///                       may pipeline and match out-of-order completions)
+///   u8[payload_len]    message payload
+///
+/// A connection opens with a Hello/HelloAck handshake carrying a magic
+/// number and protocol version; a version mismatch is answered with an
+/// Error frame and the connection closes. Strings are u16-length-prefixed
+/// and bounded by kMaxStringBytes; a malformed or oversized frame can never
+/// cause the decoder to over-allocate (lengths are validated against hard
+/// caps and against the actual bytes available before any buffer grows).
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace holix::net {
+
+/// Hello magic: the u32 value reads "HLXP" ('H'<<24|'L'<<16|'X'<<8|'P').
+/// Like every wire scalar it serializes little-endian, so a packet capture
+/// shows the bytes P X L H — peers compare the decoded u32, not the bytes.
+inline constexpr uint32_t kMagic = 0x484C5850;
+/// Protocol version spoken by this build. Bumped on any wire change.
+inline constexpr uint16_t kProtocolVersion = 1;
+/// Hard cap on one frame's payload (validated before allocation). Large
+/// enough for a 2M-rowid select result, small enough that a malformed
+/// length can never balloon memory.
+inline constexpr size_t kMaxPayloadBytes = size_t{1} << 24;  // 16 MiB
+/// Hard cap on one wire string (table/column names, error messages).
+inline constexpr size_t kMaxStringBytes = 1024;
+/// Bytes of the fixed frame header (len + type + request id).
+inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8;
+
+/// Message discriminator. Requests and responses share the numbering so a
+/// trace reads naturally; responses echo the request's request_id.
+enum class MsgType : uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kOpenSession = 3,
+  kOpenSessionAck = 4,
+  kCloseSession = 5,
+  kCloseSessionAck = 6,
+  kCountRange = 7,
+  kCountResult = 8,
+  kSumRange = 9,
+  kSumResult = 10,
+  kProjectSum = 11,
+  kProjectSumResult = 12,
+  kSelectRowIds = 13,
+  kRowIdsResult = 14,
+  kInsert = 15,
+  kInsertResult = 16,
+  kDelete = 17,
+  kDeleteResult = 18,
+  kError = 19,
+};
+inline constexpr uint8_t kMaxMsgType = static_cast<uint8_t>(MsgType::kError);
+
+/// Error frame codes.
+enum class ErrorCode : uint16_t {
+  kVersionMismatch = 1,  ///< Handshake version/magic rejected.
+  kMalformedFrame = 2,   ///< Frame failed validation; connection closes.
+  kUnknownMessage = 3,   ///< Valid frame, unexpected message type.
+  kNoSuchColumn = 4,     ///< (table, column) did not resolve.
+  kNoSuchSession = 5,    ///< session_id unknown to this connection.
+  kQueryFailed = 6,      ///< Engine threw while executing the query.
+  kShuttingDown = 7,     ///< Server is draining; retry elsewhere.
+};
+
+/// A decoded frame: type + correlation id + raw payload bytes.
+struct Frame {
+  MsgType type{};
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+// ---------------------------------------------------------------------------
+// Bounded little-endian readers/writers
+// ---------------------------------------------------------------------------
+
+/// Appends explicitly little-endian scalars and length-prefixed strings.
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U16(uint16_t v) { AppendLe(v); }
+  void U32(uint32_t v) { AppendLe(v); }
+  void U64(uint64_t v) { AppendLe(v); }
+  void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+
+  /// u16 length prefix + raw bytes. Throws std::length_error beyond
+  /// kMaxStringBytes (server-side callers validate earlier; this is the
+  /// backstop).
+  void Str(const std::string& s);
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void AppendLe(T v) {
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads bounded little-endian scalars from a byte span. Every accessor
+/// returns false (and poisons the reader) instead of reading past the end.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) { return ReadLe(v); }
+  bool U16(uint16_t* v) { return ReadLe(v); }
+  bool U32(uint32_t* v) { return ReadLe(v); }
+  bool U64(uint64_t* v) { return ReadLe(v); }
+  bool I64(int64_t* v) {
+    uint64_t u;
+    if (!ReadLe(&u)) return false;
+    std::memcpy(v, &u, sizeof(u));
+    return true;
+  }
+
+  /// Reads a u16-length-prefixed string; rejects lengths beyond
+  /// kMaxStringBytes or beyond the remaining payload.
+  bool Str(std::string* out);
+
+  /// True when every byte was consumed and nothing failed — decoders
+  /// require this so trailing garbage rejects the frame.
+  bool AtEnd() const { return ok_ && off_ == size_; }
+  bool ok() const { return ok_; }
+  size_t remaining() const { return size_ - off_; }
+
+ private:
+  template <typename T>
+  bool ReadLe(T* v) {
+    if (!ok_ || size_ - off_ < sizeof(T)) {
+      ok_ = false;
+      return false;
+    }
+    T out = 0;
+    for (size_t i = 0; i < sizeof(T); ++i) {
+      out |= static_cast<T>(static_cast<T>(data_[off_ + i]) << (8 * i));
+    }
+    *v = out;
+    off_ += sizeof(T);
+    return true;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+struct Hello {
+  static constexpr MsgType kType = MsgType::kHello;
+  uint32_t magic = kMagic;
+  uint16_t version = kProtocolVersion;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct HelloAck {
+  static constexpr MsgType kType = MsgType::kHelloAck;
+  uint16_t version = kProtocolVersion;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct OpenSessionReq {
+  static constexpr MsgType kType = MsgType::kOpenSession;
+  void Encode(WireWriter&) const {}
+  bool Decode(WireReader&) { return true; }
+};
+
+struct OpenSessionAck {
+  static constexpr MsgType kType = MsgType::kOpenSessionAck;
+  uint64_t session_id = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct CloseSessionReq {
+  static constexpr MsgType kType = MsgType::kCloseSession;
+  uint64_t session_id = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct CloseSessionAck {
+  static constexpr MsgType kType = MsgType::kCloseSessionAck;
+  void Encode(WireWriter&) const {}
+  bool Decode(WireReader&) { return true; }
+};
+
+/// Shared shape of the four single-attribute range requests.
+struct RangeReqBody {
+  uint64_t session_id = 0;
+  std::string table;
+  std::string column;
+  int64_t low = 0;
+  int64_t high = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct CountRangeReq : RangeReqBody {
+  static constexpr MsgType kType = MsgType::kCountRange;
+};
+
+struct SumRangeReq : RangeReqBody {
+  static constexpr MsgType kType = MsgType::kSumRange;
+};
+
+struct SelectRowIdsReq : RangeReqBody {
+  static constexpr MsgType kType = MsgType::kSelectRowIds;
+};
+
+struct ProjectSumReq {
+  static constexpr MsgType kType = MsgType::kProjectSum;
+  uint64_t session_id = 0;
+  std::string table;
+  std::string where_column;
+  std::string project_column;
+  int64_t low = 0;
+  int64_t high = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct CountResult {
+  static constexpr MsgType kType = MsgType::kCountResult;
+  uint64_t count = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct SumResult {
+  static constexpr MsgType kType = MsgType::kSumResult;
+  int64_t sum = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct ProjectSumResult {
+  static constexpr MsgType kType = MsgType::kProjectSumResult;
+  int64_t sum = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct RowIdsResult {
+  static constexpr MsgType kType = MsgType::kRowIdsResult;
+  std::vector<uint64_t> rowids;
+  void Encode(WireWriter& w) const;
+  /// Validates the u32 element count against the bytes actually present
+  /// before reserving anything.
+  bool Decode(WireReader& r);
+};
+
+struct InsertReq {
+  static constexpr MsgType kType = MsgType::kInsert;
+  uint64_t session_id = 0;
+  std::string table;
+  std::string column;
+  int64_t value = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct InsertResult {
+  static constexpr MsgType kType = MsgType::kInsertResult;
+  uint64_t rowid = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct DeleteReq {
+  static constexpr MsgType kType = MsgType::kDelete;
+  uint64_t session_id = 0;
+  std::string table;
+  std::string column;
+  int64_t value = 0;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct DeleteResult {
+  static constexpr MsgType kType = MsgType::kDeleteResult;
+  bool found = false;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+struct ErrorMsg {
+  static constexpr MsgType kType = MsgType::kError;
+  ErrorCode code = ErrorCode::kQueryFailed;
+  std::string message;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode
+// ---------------------------------------------------------------------------
+
+/// Serializes a complete frame (header + payload) for message \p m.
+template <typename M>
+std::vector<uint8_t> EncodeMessage(uint64_t request_id, const M& m) {
+  WireWriter payload;
+  m.Encode(payload);
+  const std::vector<uint8_t>& p = payload.bytes();
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(p.size()));
+  frame.U8(static_cast<uint8_t>(M::kType));
+  frame.U64(request_id);
+  std::vector<uint8_t> out = frame.Take();
+  out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+/// Decodes frame \p f as message type M: the frame type must match and the
+/// payload must parse with no trailing bytes.
+template <typename M>
+bool DecodeMessage(const Frame& f, M* out) {
+  if (f.type != M::kType) return false;
+  WireReader r(f.payload.data(), f.payload.size());
+  return out->Decode(r) && r.AtEnd();
+}
+
+/// Outcome of TryDecodeFrame.
+enum class DecodeStatus : uint8_t {
+  kNeedMore,   ///< The buffer holds a frame prefix; read more bytes.
+  kFrame,      ///< One frame decoded; *consumed bytes were used.
+  kMalformed,  ///< Unrecoverable framing error; close the connection.
+};
+
+/// Attempts to peel one frame off \p data. Validates payload_len and
+/// msg_type BEFORE waiting for (or allocating) the payload, so a malformed
+/// length can neither over-allocate nor stall the connection forever.
+DecodeStatus TryDecodeFrame(const uint8_t* data, size_t size, Frame* out,
+                            size_t* consumed, std::string* error);
+
+/// Printable name of a message type (diagnostics).
+const char* MsgTypeName(MsgType t);
+
+}  // namespace holix::net

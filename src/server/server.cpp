@@ -1,0 +1,442 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "engine/database.h"
+
+namespace holix::net {
+
+namespace {
+
+/// recv(2) the next chunk; returns 0 on orderly shutdown, -1 on error.
+ssize_t RecvSome(int fd, uint8_t* buf, size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+/// Sends the whole buffer; MSG_NOSIGNAL so a vanished peer yields EPIPE
+/// instead of killing the process.
+bool SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+HolixServer::HolixServer(Database& db, ServerOptions options)
+    : db_(db), options_(std::move(options)) {}
+
+HolixServer::~HolixServer() { Stop(); }
+
+void HolixServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, options_.backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind/listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  // The acceptor works on its own copy of the fd: Stop() may reset the
+  // member only after joining this thread.
+  const int fd = listen_fd_;
+  acceptor_ = std::thread([this, fd] { AcceptLoop(fd); });
+}
+
+void HolixServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock the acceptor, join it, and only then release the fd (the
+  // acceptor holds its own copy; closing before the join would race).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Stop readers: half-close the read side so recv() returns 0; responses
+  // to already-dispatched queries still go out on the write side. The
+  // reader itself drains in-flight work before closing its fd.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (const auto& conn : conns) {
+    conn->closing.store(true, std::memory_order_release);
+    conn->flow_cv.notify_all();
+    // write_mu guards fd: the reader nulls it when it finishes on its own.
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (const auto& conn : conns) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+void HolixServer::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (Stop) or fatal
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Bounded response writes: without a send timeout, a client that stops
+    // reading would block a pool thread in send() forever and make Stop()'s
+    // in-flight drain wait on it indefinitely.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 10;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    ReapFinishedConnections();
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    total_connections_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void HolixServer::ReapFinishedConnections() {
+  std::vector<std::shared_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    auto keep = conns_.begin();
+    for (auto& conn : conns_) {
+      if (conn->finished.load(std::memory_order_acquire)) {
+        dead.push_back(std::move(conn));
+      } else {
+        *keep++ = std::move(conn);
+      }
+    }
+    conns_.erase(keep, conns_.end());
+  }
+  // Joining outside the lock: the readers set `finished` as their last
+  // statement, so these joins return promptly.
+  for (const auto& conn : dead) {
+    if (conn->reader.joinable()) conn->reader.join();
+  }
+}
+
+bool HolixServer::SendFrame(Connection& conn,
+                            const std::vector<uint8_t>& bytes) {
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  if (conn.fd < 0) return false;
+  if (SendAll(conn.fd, bytes.data(), bytes.size())) return true;
+  // Write side broken (peer gone, or the send timeout fired on a client
+  // that stopped reading): tear the connection down so the reader stops
+  // decoding and later responses fail fast instead of blocking.
+  ::shutdown(conn.fd, SHUT_RDWR);
+  return false;
+}
+
+bool HolixServer::SendError(Connection& conn, uint64_t request_id,
+                            ErrorCode code, const std::string& message) {
+  ErrorMsg err;
+  err.code = code;
+  err.message = message.size() > kMaxStringBytes
+                    ? message.substr(0, kMaxStringBytes)
+                    : message;
+  return Send(conn, request_id, err);
+}
+
+void HolixServer::DrainInFlight(Connection& conn) {
+  std::unique_lock<std::mutex> lk(conn.flow_mu);
+  conn.flow_cv.wait(lk, [&] { return conn.in_flight == 0; });
+}
+
+void HolixServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
+  std::vector<uint8_t> acc;
+  uint8_t chunk[64 * 1024];
+  bool handshaken = false;
+  bool fatal = false;
+  while (!fatal) {
+    const ssize_t n = RecvSome(conn->fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // peer closed / Stop() half-closed / error
+    acc.insert(acc.end(), chunk, chunk + n);
+    size_t off = 0;
+    for (;;) {
+      Frame f;
+      size_t consumed = 0;
+      std::string error;
+      const DecodeStatus st =
+          TryDecodeFrame(acc.data() + off, acc.size() - off, &f, &consumed,
+                         &error);
+      if (st == DecodeStatus::kNeedMore) break;
+      if (st == DecodeStatus::kMalformed) {
+        SendError(*conn, 0, ErrorCode::kMalformedFrame, error);
+        fatal = true;
+        break;
+      }
+      off += consumed;
+      if (!handshaken) {
+        Hello hello;
+        if (f.type != MsgType::kHello || !DecodeMessage(f, &hello)) {
+          SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
+                    "expected Hello");
+          fatal = true;
+          break;
+        }
+        if (hello.magic != kMagic || hello.version != kProtocolVersion) {
+          SendError(*conn, f.request_id, ErrorCode::kVersionMismatch,
+                    "server speaks protocol version " +
+                        std::to_string(kProtocolVersion));
+          fatal = true;
+          break;
+        }
+        HelloAck ack;
+        Send(*conn, f.request_id, ack);
+        handshaken = true;
+        continue;
+      }
+      if (!HandleFrame(conn, f)) {
+        fatal = true;
+        break;
+      }
+    }
+    acc.erase(acc.begin(), acc.begin() + static_cast<ptrdiff_t>(off));
+  }
+  // Drain before closing: in-flight queries still write their responses.
+  conn->closing.store(true, std::memory_order_release);
+  DrainInFlight(*conn);
+  {
+    std::lock_guard<std::mutex> lk(conn->write_mu);
+    if (conn->fd >= 0) {
+      ::close(conn->fd);
+      conn->fd = -1;
+    }
+  }
+  conn->finished.store(true, std::memory_order_release);
+}
+
+template <typename Req, typename Fn>
+bool HolixServer::DispatchQuery(const std::shared_ptr<Connection>& conn,
+                                const Frame& f, Fn&& run) {
+  Req req;
+  if (!DecodeMessage(f, &req)) {
+    SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
+              std::string("malformed ") + MsgTypeName(f.type));
+    return false;
+  }
+  auto it = conn->sessions.find(req.session_id);
+  if (it == conn->sessions.end()) {
+    SendError(*conn, f.request_id, ErrorCode::kNoSuchSession,
+              "unknown session " + std::to_string(req.session_id));
+    return true;
+  }
+  Session& sess = it->second;
+  // Resolve handles on the reader thread (the session's handle cache is
+  // single-threaded by contract); build the pool closure, or report a
+  // resolution error without closing the connection.
+  std::function<void()> work;
+  try {
+    work = run(sess, req);
+  } catch (const std::out_of_range& e) {
+    SendError(*conn, f.request_id, ErrorCode::kNoSuchColumn, e.what());
+    return true;
+  }
+  // Backpressure: park the reader until the window opens. Parking here
+  // stops frame decoding, the socket's receive buffer fills, and TCP flow
+  // control slows the client.
+  {
+    std::unique_lock<std::mutex> lk(conn->flow_mu);
+    conn->flow_cv.wait(lk, [&] {
+      return conn->in_flight < options_.max_in_flight_per_connection ||
+             conn->closing.load(std::memory_order_acquire);
+    });
+    ++conn->in_flight;
+  }
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t request_id = f.request_id;
+  sess.SubmitRaw([conn, request_id, work = std::move(work)] {
+    try {
+      work();
+    } catch (const std::exception& e) {
+      SendError(*conn, request_id, ErrorCode::kQueryFailed, e.what());
+    } catch (...) {
+      SendError(*conn, request_id, ErrorCode::kQueryFailed, "unknown error");
+    }
+    std::lock_guard<std::mutex> lk(conn->flow_mu);
+    --conn->in_flight;
+    conn->flow_cv.notify_all();
+  });
+  return true;
+}
+
+bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+                              const Frame& f) {
+  Database* db = &db_;
+  switch (f.type) {
+    case MsgType::kOpenSession: {
+      OpenSessionReq req;
+      if (!DecodeMessage(f, &req)) {
+        SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
+                  "malformed OpenSession");
+        return false;
+      }
+      if (conn->sessions.size() >= options_.max_sessions_per_connection) {
+        SendError(*conn, f.request_id, ErrorCode::kQueryFailed,
+                  "session cap reached: " +
+                      std::to_string(options_.max_sessions_per_connection));
+        return true;
+      }
+      Session session = db_.OpenSession();
+      OpenSessionAck ack;
+      ack.session_id = session.id();
+      conn->sessions.emplace(ack.session_id, std::move(session));
+      Send(*conn, f.request_id, ack);
+      return true;
+    }
+    case MsgType::kCloseSession: {
+      CloseSessionReq req;
+      if (!DecodeMessage(f, &req)) {
+        SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
+                  "malformed CloseSession");
+        return false;
+      }
+      if (conn->sessions.erase(req.session_id) == 0) {
+        SendError(*conn, f.request_id, ErrorCode::kNoSuchSession,
+                  "unknown session " + std::to_string(req.session_id));
+        return true;
+      }
+      Send(*conn, f.request_id, CloseSessionAck{});
+      return true;
+    }
+    case MsgType::kCountRange:
+      return DispatchQuery<CountRangeReq>(
+          conn, f, [db, conn, id = f.request_id](Session& s, const CountRangeReq& r) {
+            ColumnHandle h = s.Handle(r.table, r.column);
+            const int64_t low = r.low, high = r.high;
+            return [db, conn, id, h, low, high] {
+              CountResult res;
+              res.count = db->CountRange(h, low, high, QueryContext{});
+              Send(*conn, id, res);
+            };
+          });
+    case MsgType::kSumRange:
+      return DispatchQuery<SumRangeReq>(
+          conn, f, [db, conn, id = f.request_id](Session& s, const SumRangeReq& r) {
+            ColumnHandle h = s.Handle(r.table, r.column);
+            const int64_t low = r.low, high = r.high;
+            return [db, conn, id, h, low, high] {
+              SumResult res;
+              res.sum = db->SumRange(h, low, high, QueryContext{});
+              Send(*conn, id, res);
+            };
+          });
+    case MsgType::kSelectRowIds:
+      return DispatchQuery<SelectRowIdsReq>(
+          conn, f,
+          [db, conn, id = f.request_id](Session& s, const SelectRowIdsReq& r) {
+            ColumnHandle h = s.Handle(r.table, r.column);
+            const int64_t low = r.low, high = r.high;
+            return [db, conn, id, h, low, high] {
+              const PositionList rows =
+                  db->SelectRowIds(h, low, high, QueryContext{});
+              RowIdsResult res;
+              res.rowids.reserve(rows.size());
+              for (RowId rid : rows) res.rowids.push_back(rid);
+              // A result too big for one frame is a server-side error
+              // frame, never a silently truncated result.
+              if (res.rowids.size() * sizeof(uint64_t) + 16 >
+                  kMaxPayloadBytes) {
+                SendError(*conn, id, ErrorCode::kQueryFailed,
+                          "result exceeds frame cap: " +
+                              std::to_string(res.rowids.size()) + " rowids");
+                return;
+              }
+              Send(*conn, id, res);
+            };
+          });
+    case MsgType::kProjectSum:
+      return DispatchQuery<ProjectSumReq>(
+          conn, f, [db, conn, id = f.request_id](Session& s, const ProjectSumReq& r) {
+            ColumnHandle hw = s.Handle(r.table, r.where_column);
+            ColumnHandle hp = s.Handle(r.table, r.project_column);
+            const int64_t low = r.low, high = r.high;
+            return [db, conn, id, hw, hp, low, high] {
+              ProjectSumResult res;
+              res.sum = db->ProjectSum(hw, hp, low, high, QueryContext{});
+              Send(*conn, id, res);
+            };
+          });
+    case MsgType::kInsert:
+      return DispatchQuery<InsertReq>(
+          conn, f, [db, conn, id = f.request_id](Session& s, const InsertReq& r) {
+            ColumnHandle h = s.Handle(r.table, r.column);
+            const int64_t value = r.value;
+            return [db, conn, id, h, value] {
+              InsertResult res;
+              res.rowid = db->Insert(h, value, QueryContext{});
+              Send(*conn, id, res);
+            };
+          });
+    case MsgType::kDelete:
+      return DispatchQuery<DeleteReq>(
+          conn, f, [db, conn, id = f.request_id](Session& s, const DeleteReq& r) {
+            ColumnHandle h = s.Handle(r.table, r.column);
+            const int64_t value = r.value;
+            return [db, conn, id, h, value] {
+              DeleteResult res;
+              res.found = db->Delete(h, value, QueryContext{});
+              Send(*conn, id, res);
+            };
+          });
+    default:
+      SendError(*conn, f.request_id, ErrorCode::kUnknownMessage,
+                std::string("unexpected ") + MsgTypeName(f.type));
+      return true;
+  }
+}
+
+}  // namespace holix::net

@@ -1,0 +1,168 @@
+/// \file server.h
+/// \brief HolixServer: the TCP service layer over the engine's Session API
+/// (§5.8's many-concurrent-clients model made real on a socket).
+///
+/// Thread model: one acceptor thread plus one lightweight *reader* thread
+/// per connection. Readers only decode frames and resolve handles through
+/// the connection's sessions (each session's handle cache stays
+/// single-threaded); query execution is dispatched through
+/// Session::SubmitRaw onto the database's client pool, so N connections
+/// multiplex onto the pool rather than N OS threads blocking inside
+/// queries. Responses are written from pool threads under a per-connection
+/// write mutex and carry the request's id, so clients may pipeline and
+/// match out-of-order completions.
+///
+/// Backpressure: each connection admits at most
+/// ServerOptions::max_in_flight_per_connection dispatched queries; past
+/// that, the reader parks before decoding further frames, the kernel
+/// receive buffer fills, and TCP flow control pushes back on the client —
+/// a slow consumer can therefore never balloon the server's queue.
+///
+/// Shutdown: Stop() closes the listener, stops readers, *drains* every
+/// in-flight query (responses still go out), then joins and closes.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/session.h"
+#include "server/protocol.h"
+
+namespace holix {
+class Database;
+}
+
+namespace holix::net {
+
+/// Construction-time options of a HolixServer.
+struct ServerOptions {
+  /// Address to bind; the default serves loopback only (the benchmarks'
+  /// and tests' deployment). Use "0.0.0.0" to serve a network.
+  std::string bind_address = "127.0.0.1";
+
+  /// TCP port; 0 binds an ephemeral port (read the result from port()).
+  uint16_t port = 0;
+
+  /// listen(2) backlog.
+  int backlog = 64;
+
+  /// Backpressure window: dispatched-but-unanswered queries one connection
+  /// may have before its reader stops decoding further requests.
+  size_t max_in_flight_per_connection = 32;
+
+  /// Cap on concurrently open sessions per connection; an OpenSession
+  /// beyond it is answered with an Error frame (session management is not
+  /// covered by the in-flight window, so this bounds it separately).
+  size_t max_sessions_per_connection = 64;
+};
+
+/// A TCP server exposing one Database over the Holix wire protocol.
+class HolixServer {
+ public:
+  /// \p db must outlive the server.
+  explicit HolixServer(Database& db, ServerOptions options = {});
+  ~HolixServer();
+
+  HolixServer(const HolixServer&) = delete;
+  HolixServer& operator=(const HolixServer&) = delete;
+
+  /// Binds, listens and starts the acceptor. Throws std::runtime_error
+  /// when the socket cannot be set up.
+  void Start();
+
+  /// Stops accepting, stops readers, drains in-flight queries (their
+  /// responses are still written), joins every thread and closes every
+  /// socket. Idempotent; also runs from the destructor.
+  void Stop();
+
+  /// The bound TCP port (valid after Start(); resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  /// True between successful Start() and Stop().
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t TotalConnections() const {
+    return total_connections_.load(std::memory_order_relaxed);
+  }
+
+  /// Request frames dispatched over the server's lifetime.
+  uint64_t TotalRequests() const {
+    return total_requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-connection state. The reader thread owns fd reads and the session
+  /// map; pool threads share fd writes (under write_mu) and the in-flight
+  /// accounting.
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+
+    /// Serializes response frames (whole frames only) onto the socket.
+    std::mutex write_mu;
+
+    /// Backpressure + drain accounting.
+    std::mutex flow_mu;
+    std::condition_variable flow_cv;
+    size_t in_flight = 0;
+
+    /// Sessions opened on this connection (reader-thread-only).
+    std::unordered_map<uint64_t, Session> sessions;
+
+    std::atomic<bool> closing{false};
+    /// Set by the reader as its very last action; lets the acceptor reap
+    /// finished connections (join + erase) instead of accreting them.
+    std::atomic<bool> finished{false};
+  };
+
+  void AcceptLoop(int listen_fd);
+  /// Joins and drops connections whose readers have finished (runs on the
+  /// acceptor thread so a long-lived server does not accrete dead ones).
+  void ReapFinishedConnections();
+  void ReaderLoop(const std::shared_ptr<Connection>& conn);
+  /// Handles one decoded frame; returns false when the connection must
+  /// close (protocol violation).
+  bool HandleFrame(const std::shared_ptr<Connection>& conn, const Frame& f);
+  /// Dispatches one query frame through SubmitRaw with backpressure.
+  template <typename Req, typename Fn>
+  bool DispatchQuery(const std::shared_ptr<Connection>& conn, const Frame& f,
+                     Fn&& run);
+
+  /// Writes one whole frame under the connection's write mutex. Returns
+  /// false when the peer is gone (callers then stop producing).
+  static bool SendFrame(Connection& conn, const std::vector<uint8_t>& bytes);
+  template <typename M>
+  static bool Send(Connection& conn, uint64_t request_id, const M& m) {
+    return SendFrame(conn, EncodeMessage(request_id, m));
+  }
+  static bool SendError(Connection& conn, uint64_t request_id, ErrorCode code,
+                        const std::string& message);
+
+  /// Blocks until the connection's in-flight queries hit zero.
+  static void DrainInFlight(Connection& conn);
+
+  Database& db_;
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::atomic<uint64_t> total_connections_{0};
+  std::atomic<uint64_t> total_requests_{0};
+};
+
+}  // namespace holix::net

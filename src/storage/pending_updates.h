@@ -53,6 +53,35 @@ class PendingUpdates {
     return taken;
   }
 
+  /// Extracts every pending insert whose value is >= \p low (the closed
+  /// tail [low, max(T)], which [low, high) cannot express at high=max(T)).
+  std::vector<std::pair<T, RowId>> TakeInsertsAtLeast(T low) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto taken = TakeAtLeastLocked(inserts_, low);
+    if (inserts_.empty()) ins_bounds_.Reset();
+    return taken;
+  }
+
+  /// Extracts every pending delete whose value is >= \p low.
+  std::vector<std::pair<T, RowId>> TakeDeletesAtLeast(T low) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto taken = TakeAtLeastLocked(deletes_, low);
+    if (deletes_.empty()) del_bounds_.Reset();
+    return taken;
+  }
+
+  /// True when any pending insert or delete has value >= \p low.
+  bool AnyAtLeast(T low) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto at_least = [&](const std::pair<T, RowId>& p) {
+      return p.first >= low;
+    };
+    return (ins_bounds_.any && ins_bounds_.max >= low &&
+            std::any_of(inserts_.begin(), inserts_.end(), at_least)) ||
+           (del_bounds_.any && del_bounds_.max >= low &&
+            std::any_of(deletes_.begin(), deletes_.end(), at_least));
+  }
+
   /// True when any pending insert or delete may fall in [low, high). Cheap
   /// peek so merge paths can skip exclusive latching when nothing in the
   /// queues concerns their range. Conservative value bounds reject the
@@ -109,6 +138,21 @@ class PendingUpdates {
     auto keep_end = std::remove_if(
         queue.begin(), queue.end(), [&](const std::pair<T, RowId>& p) {
           if (p.first >= low && p.first < high) {
+            taken.push_back(p);
+            return true;
+          }
+          return false;
+        });
+    queue.erase(keep_end, queue.end());
+    return taken;
+  }
+
+  static std::vector<std::pair<T, RowId>> TakeAtLeastLocked(
+      std::vector<std::pair<T, RowId>>& queue, T low) {
+    std::vector<std::pair<T, RowId>> taken;
+    auto keep_end = std::remove_if(
+        queue.begin(), queue.end(), [&](const std::pair<T, RowId>& p) {
+          if (p.first >= low) {
             taken.push_back(p);
             return true;
           }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -287,6 +288,64 @@ TEST(EngineApi, DoubleColumnLoadsAsStorageOnly) {
   EXPECT_THROW(db.Resolve("r", "price"), std::out_of_range);
   // The indexable attribute beside it is unaffected.
   EXPECT_GT(db.CountRange("r", "a", 0, kDomain), 0u);
+}
+
+// The closed-bound select primitive: rows holding exactly INT32_MAX are
+// selectable through the int64 facade in every execution mode (an int64
+// exclusive high beyond the type max degrades to the closed bound
+// [lo, max(T)] instead of saturating exclusively below it).
+TEST(EngineApi, Int32MaxSelectableThroughInt64Facade) {
+  constexpr int32_t kMax = std::numeric_limits<int32_t>::max();
+  for (ExecMode mode :
+       {ExecMode::kScan, ExecMode::kOffline, ExecMode::kOnline,
+        ExecMode::kAdaptive, ExecMode::kStochastic, ExecMode::kCCGI,
+        ExecMode::kHolistic}) {
+    DatabaseOptions opts;
+    opts.mode = mode;
+    opts.user_threads = 2;
+    opts.total_cores = 4;
+    opts.online_observation_window = 4;
+    Database db(opts);
+    auto data = UniformTyped<int32_t>(20000, kDomain, 50);
+    constexpr size_t kMaxRows = 7;
+    for (size_t i = 0; i < kMaxRows; ++i) data[i * 100] = kMax;
+    db.LoadColumn("r", "a", data);
+    const char* name = ExecModeName(mode);
+    // Unit range [kMax, kMax + 1) — expressible only via the closed bound.
+    EXPECT_EQ(db.CountRange("r", "a", kMax, int64_t{kMax} + 1), kMaxRows)
+        << name;
+    // A whole-domain query covers the boundary rows too.
+    EXPECT_EQ(db.CountRange("r", "a", 0, int64_t{1} << 40), data.size())
+        << name;
+    EXPECT_EQ(db.SelectRowIds(db.Resolve("r", "a"), kMax, int64_t{kMax} + 1)
+                  .size(),
+              kMaxRows)
+        << name;
+    EXPECT_EQ(db.SumRange("r", "a", kMax, int64_t{kMax} + 1),
+              static_cast<int64_t>(kMaxRows) * kMax)
+        << name;
+    // Exercise the closed path again after cracking/sorting refined state.
+    EXPECT_EQ(db.CountRange("r", "a", kMax - 10, int64_t{1} << 40),
+              NaiveCountTyped(data, kMax - 10, int64_t{1} << 40))
+        << name;
+  }
+}
+
+// With the closed unit select, a row holding the element type's maximum is
+// insertable AND deletable through the facade (formerly an accepted
+// limitation: [max, max+1) was inexpressible).
+TEST(EngineApi, Int32MaxInsertAndDelete) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  constexpr int32_t kMax = std::numeric_limits<int32_t>::max();
+  db.LoadColumn("r", "a", UniformTyped<int32_t>(5000, 1000, 51));
+  EXPECT_EQ(db.CountRange("r", "a", kMax, int64_t{kMax} + 1), 0u);
+  db.Insert("r", "a", kMax);
+  EXPECT_EQ(db.CountRange("r", "a", kMax, int64_t{kMax} + 1), 1u);
+  EXPECT_TRUE(db.Delete("r", "a", kMax));
+  EXPECT_EQ(db.CountRange("r", "a", kMax, int64_t{kMax} + 1), 0u);
+  EXPECT_FALSE(db.Delete("r", "a", kMax));  // nothing left to delete
 }
 
 TEST(EngineApi, Int32InsertOutOfDomainThrows) {

@@ -1,0 +1,296 @@
+/// Wire-protocol unit tests: roundtrip encode/decode for every message
+/// type, incremental framing, and rejection of truncated, oversized,
+/// trailing-garbage, and lying-length frames (the bounded-validation
+/// guarantees a malformed peer can never make the decoder over-allocate).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace holix::net {
+namespace {
+
+/// Encodes message \p m, decodes it back through the framing layer, and
+/// returns the re-decoded message (EXPECTing every step to succeed).
+template <typename M>
+M Roundtrip(const M& m, uint64_t request_id = 7) {
+  const std::vector<uint8_t> bytes = EncodeMessage(request_id, m);
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame)
+      << error;
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(f.request_id, request_id);
+  EXPECT_EQ(f.type, M::kType);
+  M out;
+  EXPECT_TRUE(DecodeMessage(f, &out)) << MsgTypeName(M::kType);
+  return out;
+}
+
+TEST(Protocol, RoundtripHandshake) {
+  const Hello hello = Roundtrip(Hello{});
+  EXPECT_EQ(hello.magic, kMagic);
+  EXPECT_EQ(hello.version, kProtocolVersion);
+  HelloAck ack;
+  ack.version = 3;
+  EXPECT_EQ(Roundtrip(ack).version, 3);
+}
+
+TEST(Protocol, RoundtripSessionMessages) {
+  Roundtrip(OpenSessionReq{});
+  OpenSessionAck ack;
+  ack.session_id = 0xDEADBEEFCAFE;
+  EXPECT_EQ(Roundtrip(ack).session_id, 0xDEADBEEFCAFEull);
+  CloseSessionReq close;
+  close.session_id = 42;
+  EXPECT_EQ(Roundtrip(close).session_id, 42u);
+  Roundtrip(CloseSessionAck{});
+}
+
+TEST(Protocol, RoundtripRangeRequests) {
+  CountRangeReq count;
+  count.session_id = 9;
+  count.table = "r";
+  count.column = "a0";
+  count.low = -5;
+  count.high = int64_t{1} << 40;
+  const CountRangeReq c = Roundtrip(count);
+  EXPECT_EQ(c.session_id, 9u);
+  EXPECT_EQ(c.table, "r");
+  EXPECT_EQ(c.column, "a0");
+  EXPECT_EQ(c.low, -5);
+  EXPECT_EQ(c.high, int64_t{1} << 40);
+
+  SumRangeReq sum;
+  sum.table = "t";
+  sum.column = "x";
+  sum.low = std::numeric_limits<int64_t>::min();
+  sum.high = std::numeric_limits<int64_t>::max();
+  const SumRangeReq s = Roundtrip(sum);
+  EXPECT_EQ(s.low, std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(s.high, std::numeric_limits<int64_t>::max());
+
+  SelectRowIdsReq sel;
+  sel.table = "r";
+  sel.column = "a1";
+  sel.low = 1;
+  sel.high = 2;
+  EXPECT_EQ(Roundtrip(sel).column, "a1");
+
+  ProjectSumReq psum;
+  psum.session_id = 3;
+  psum.table = "r";
+  psum.where_column = "w";
+  psum.project_column = "p";
+  psum.low = 10;
+  psum.high = 20;
+  const ProjectSumReq p = Roundtrip(psum);
+  EXPECT_EQ(p.where_column, "w");
+  EXPECT_EQ(p.project_column, "p");
+}
+
+TEST(Protocol, RoundtripResults) {
+  CountResult count;
+  count.count = 12345;
+  EXPECT_EQ(Roundtrip(count).count, 12345u);
+  SumResult sum;
+  sum.sum = -99;
+  EXPECT_EQ(Roundtrip(sum).sum, -99);
+  ProjectSumResult psum;
+  psum.sum = int64_t{1} << 50;
+  EXPECT_EQ(Roundtrip(psum).sum, int64_t{1} << 50);
+  RowIdsResult rows;
+  rows.rowids = {1, 2, 3, 0xFFFFFFFFFFFFull};
+  EXPECT_EQ(Roundtrip(rows).rowids, rows.rowids);
+  RowIdsResult empty;
+  EXPECT_TRUE(Roundtrip(empty).rowids.empty());
+  InsertResult ins;
+  ins.rowid = 77;
+  EXPECT_EQ(Roundtrip(ins).rowid, 77u);
+  DeleteResult del;
+  del.found = true;
+  EXPECT_TRUE(Roundtrip(del).found);
+}
+
+TEST(Protocol, RoundtripUpdatesAndError) {
+  InsertReq ins;
+  ins.session_id = 1;
+  ins.table = "r";
+  ins.column = "a";
+  ins.value = -42;
+  EXPECT_EQ(Roundtrip(ins).value, -42);
+  DeleteReq del;
+  del.session_id = 1;
+  del.table = "r";
+  del.column = "a";
+  del.value = 7;
+  EXPECT_EQ(Roundtrip(del).value, 7);
+  ErrorMsg err;
+  err.code = ErrorCode::kNoSuchColumn;
+  err.message = "no column r.z";
+  const ErrorMsg e = Roundtrip(err);
+  EXPECT_EQ(e.code, ErrorCode::kNoSuchColumn);
+  EXPECT_EQ(e.message, "no column r.z");
+}
+
+TEST(Protocol, TruncatedFramesNeedMore) {
+  CountRangeReq req;
+  req.table = "r";
+  req.column = "a";
+  const std::vector<uint8_t> bytes = EncodeMessage(1, req);
+  // Every strict prefix is kNeedMore, never kMalformed and never a frame.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(TryDecodeFrame(bytes.data(), n, &f, &consumed, &error),
+              DecodeStatus::kNeedMore)
+        << "prefix " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(Protocol, OversizedPayloadLengthRejectedBeforeAllocation) {
+  // Header claiming a payload beyond kMaxPayloadBytes: malformed
+  // immediately, even though no payload bytes follow.
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(kMaxPayloadBytes + 1));
+  w.U8(static_cast<uint8_t>(MsgType::kCountRange));
+  w.U64(1);
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(w.bytes().data(), w.bytes().size(), &f, &consumed,
+                           &error),
+            DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("exceeds cap"), std::string::npos) << error;
+}
+
+TEST(Protocol, UnknownMessageTypeRejected) {
+  WireWriter w;
+  w.U32(0);
+  w.U8(200);  // not a MsgType
+  w.U64(1);
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(w.bytes().data(), w.bytes().size(), &f, &consumed,
+                           &error),
+            DecodeStatus::kMalformed);
+  // Type 0 is reserved-invalid too.
+  WireWriter z;
+  z.U32(0);
+  z.U8(0);
+  z.U64(1);
+  EXPECT_EQ(TryDecodeFrame(z.bytes().data(), z.bytes().size(), &f, &consumed,
+                           &error),
+            DecodeStatus::kMalformed);
+}
+
+TEST(Protocol, TrailingGarbageRejectsMessage) {
+  CountResult res;
+  res.count = 5;
+  std::vector<uint8_t> bytes = EncodeMessage(1, res);
+  bytes.push_back(0xAB);             // extra payload byte...
+  bytes[0] += 1;                     // ...declared in the length prefix
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  CountResult out;
+  EXPECT_FALSE(DecodeMessage(f, &out));  // payload must parse exactly
+}
+
+TEST(Protocol, LyingRowIdCountRejectedBeforeAllocation) {
+  // A RowIdsResult whose element count promises far more rowids than the
+  // payload holds must fail validation without reserving anything.
+  WireWriter payload;
+  payload.U32(100000000);  // claims 1e8 rowids
+  payload.U64(1);          // ...but carries one
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.bytes().size()));
+  frame.U8(static_cast<uint8_t>(MsgType::kRowIdsResult));
+  frame.U64(9);
+  std::vector<uint8_t> bytes = frame.Take();
+  bytes.insert(bytes.end(), payload.bytes().begin(), payload.bytes().end());
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  RowIdsResult out;
+  EXPECT_FALSE(DecodeMessage(f, &out));
+  EXPECT_TRUE(out.rowids.empty());
+}
+
+TEST(Protocol, OverlongStringRejected) {
+  // Writer-side cap.
+  WireWriter w;
+  EXPECT_THROW(w.Str(std::string(kMaxStringBytes + 1, 'x')),
+               std::length_error);
+  // Reader-side cap: a hand-built payload with a length prefix beyond the
+  // cap fails cleanly.
+  WireWriter payload;
+  payload.U64(1);                                        // session id
+  payload.U16(static_cast<uint16_t>(kMaxStringBytes + 1));  // lying prefix
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.bytes().size()));
+  frame.U8(static_cast<uint8_t>(MsgType::kCountRange));
+  frame.U64(1);
+  std::vector<uint8_t> bytes = frame.Take();
+  bytes.insert(bytes.end(), payload.bytes().begin(), payload.bytes().end());
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  CountRangeReq out;
+  EXPECT_FALSE(DecodeMessage(f, &out));
+}
+
+TEST(Protocol, MultipleFramesDecodeSequentially) {
+  CountResult a;
+  a.count = 1;
+  SumResult b;
+  b.sum = 2;
+  std::vector<uint8_t> bytes = EncodeMessage(10, a);
+  const std::vector<uint8_t> second = EncodeMessage(11, b);
+  bytes.insert(bytes.end(), second.begin(), second.end());
+
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(f.request_id, 10u);
+  const size_t first = consumed;
+  ASSERT_EQ(TryDecodeFrame(bytes.data() + first, bytes.size() - first, &f,
+                           &consumed, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(f.request_id, 11u);
+  EXPECT_EQ(first + consumed, bytes.size());
+}
+
+TEST(Protocol, LittleEndianOnTheWire) {
+  // The format is explicitly little-endian: byte 0 of the frame is the low
+  // byte of the payload length, and scalar payloads serialize low-first.
+  OpenSessionAck ack;
+  ack.session_id = 0x0102030405060708ull;
+  const std::vector<uint8_t> bytes = EncodeMessage(0, ack);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + 8);
+  EXPECT_EQ(bytes[0], 8);  // payload length low byte
+  EXPECT_EQ(bytes[kFrameHeaderBytes], 0x08);      // session id low byte
+  EXPECT_EQ(bytes[kFrameHeaderBytes + 7], 0x01);  // session id high byte
+}
+
+}  // namespace
+}  // namespace holix::net

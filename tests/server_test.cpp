@@ -1,0 +1,395 @@
+/// Loopback tests of the network service layer: lifecycle, handshake
+/// version enforcement, malformed-stream handling, error frames that keep
+/// the connection alive, concurrent socket clients whose mixed
+/// read/insert results checksum-match an in-process session run, pipelined
+/// out-of-order completion, and clean shutdown draining in-flight queries.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_support.h"
+
+namespace holix::net {
+namespace {
+
+constexpr int64_t kDomain = 1 << 20;
+
+DatabaseOptions SmallDbOptions() {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  opts.user_threads = 2;
+  opts.total_cores = 4;
+  return opts;
+}
+
+/// A raw loopback socket for protocol-violation tests (HolixClient refuses
+/// to misbehave, so these speak bytes directly).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::vector<uint8_t>& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+
+  /// Reads frames until one arrives (EXPECT-fails on close/garbage).
+  Frame ReadFrame() {
+    std::vector<uint8_t> acc;
+    uint8_t chunk[4096];
+    for (;;) {
+      Frame f;
+      size_t consumed = 0;
+      std::string error;
+      if (TryDecodeFrame(acc.data(), acc.size(), &f, &consumed, &error) ==
+          DecodeStatus::kFrame) {
+        return f;
+      }
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      EXPECT_GT(n, 0) << "connection closed before a frame arrived";
+      if (n <= 0) return {};
+      acc.insert(acc.end(), chunk, chunk + n);
+    }
+  }
+
+  /// True when the server closed the connection (EOF) within ~2s.
+  bool WaitForClose() {
+    uint8_t buf[256];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(Server, StartStopLifecycle) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 1));
+  HolixServer server(db);
+  EXPECT_FALSE(server.running());
+  server.Start();
+  EXPECT_TRUE(server.running());
+  EXPECT_GT(server.port(), 0);  // ephemeral bind resolved
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  server.Stop();  // idempotent
+  // Restartable after a stop.
+  server.Start();
+  EXPECT_TRUE(server.running());
+  server.Stop();
+}
+
+TEST(Server, SyncQueriesMatchInProcessSession) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(50000, kDomain, 2);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Session inproc = db.OpenSession();
+  Rng rng(3);
+  for (int i = 0; i < 32; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(kDomain / 4));
+    ASSERT_EQ(client.CountRange(sid, "r", "a", lo, hi),
+              inproc.CountRange("r", "a", lo, hi))
+        << "query " << i;
+  }
+  EXPECT_EQ(client.SumRange(sid, "r", "a", 100, 90000),
+            inproc.SumRange("r", "a", 100, 90000));
+  const auto rowids = client.SelectRowIds(sid, "r", "a", 100, 9000);
+  EXPECT_EQ(rowids.size(), inproc.SelectRowIds(
+                               inproc.Handle("r", "a"), 100, 9000).size());
+  client.CloseSession(sid);
+  client.Close();
+  server.Stop();
+}
+
+TEST(Server, ProjectSumAndUpdatesOverTheWire) {
+  Database db(SmallDbOptions());
+  const auto a = test::MakeUniform(20000, kDomain, 4);
+  const auto b = test::MakeUniform(20000, kDomain, 5);
+  db.LoadColumn("r", "a", a);
+  db.LoadColumn("r", "b", b);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  int64_t naive = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] >= 100 && a[i] < 90000) naive += b[i];
+  }
+  EXPECT_EQ(client.ProjectSum(sid, "r", "a", "b", 100, 90000), naive);
+
+  // Insert outside the base domain, read it back, delete it.
+  const int64_t band = int64_t{1} << 21;
+  EXPECT_EQ(client.CountRange(sid, "r", "a", band, band + 10), 0u);
+  client.Insert(sid, "r", "a", band + 5);
+  EXPECT_EQ(client.CountRange(sid, "r", "a", band, band + 10), 1u);
+  EXPECT_TRUE(client.Delete(sid, "r", "a", band + 5));
+  EXPECT_FALSE(client.Delete(sid, "r", "a", band + 5));
+  EXPECT_EQ(client.CountRange(sid, "r", "a", band, band + 10), 0u);
+  server.Stop();
+}
+
+TEST(Server, VersionMismatchRejectedWithErrorFrame) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 6));
+  HolixServer server(db);
+  server.Start();
+
+  RawConn raw(server.port());
+  Hello hello;
+  hello.version = kProtocolVersion + 1;
+  raw.Send(EncodeMessage(1, hello));
+  const Frame f = raw.ReadFrame();
+  ASSERT_EQ(f.type, MsgType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(DecodeMessage(f, &err));
+  EXPECT_EQ(err.code, ErrorCode::kVersionMismatch);
+  EXPECT_TRUE(raw.WaitForClose());
+  server.Stop();
+}
+
+TEST(Server, BadMagicRejected) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 7));
+  HolixServer server(db);
+  server.Start();
+  RawConn raw(server.port());
+  Hello hello;
+  hello.magic = 0x12345678;
+  raw.Send(EncodeMessage(1, hello));
+  const Frame f = raw.ReadFrame();
+  ASSERT_EQ(f.type, MsgType::kError);
+  EXPECT_TRUE(raw.WaitForClose());
+  server.Stop();
+}
+
+TEST(Server, GarbageStreamClosesConnection) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 8));
+  HolixServer server(db);
+  server.Start();
+  RawConn raw(server.port());
+  // An impossible payload length followed by noise.
+  std::vector<uint8_t> garbage(64, 0xFF);
+  raw.Send(garbage);
+  const Frame f = raw.ReadFrame();
+  ASSERT_EQ(f.type, MsgType::kError);
+  ErrorMsg err;
+  ASSERT_TRUE(DecodeMessage(f, &err));
+  EXPECT_EQ(err.code, ErrorCode::kMalformedFrame);
+  EXPECT_TRUE(raw.WaitForClose());
+  server.Stop();
+}
+
+TEST(Server, QueryErrorsKeepTheConnectionAlive) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(10000, kDomain, 9));
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+  // Unknown column -> error frame, connection stays usable.
+  EXPECT_THROW(client.CountRange(sid, "r", "nope", 0, 10),
+               std::runtime_error);
+  // Unknown session -> error frame, connection stays usable.
+  EXPECT_THROW(client.CountRange(sid + 999, "r", "a", 0, 10),
+               std::runtime_error);
+  EXPECT_EQ(client.CountRange(sid, "r", "a", 0, kDomain), 10000u);
+  server.Stop();
+}
+
+TEST(Server, SessionCapRejectsExcessOpens) {
+  Database db(SmallDbOptions());
+  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 15));
+  ServerOptions opts;
+  opts.max_sessions_per_connection = 2;
+  HolixServer server(db, opts);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t s1 = client.OpenSession();
+  client.OpenSession();
+  EXPECT_THROW(client.OpenSession(), std::runtime_error);  // cap reached
+  // Closing one frees a slot; the connection stays healthy throughout.
+  client.CloseSession(s1);
+  const uint64_t s3 = client.OpenSession();
+  EXPECT_EQ(client.CountRange(s3, "r", "a", 0, kDomain), 1000u);
+  server.Stop();
+}
+
+TEST(Server, PipelinedRequestsCompleteOutOfOrderById) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(30000, kDomain, 10);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Session inproc = db.OpenSession();
+  std::vector<uint64_t> ids;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  Rng rng(11);
+  for (int i = 0; i < 16; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(kDomain / 4));
+    ranges.emplace_back(lo, hi);
+    ids.push_back(client.SendCountRange(sid, "r", "a", lo, hi));
+  }
+  // Await in reverse order: responses must match by id, not arrival.
+  for (size_t i = ids.size(); i-- > 0;) {
+    EXPECT_EQ(client.AwaitCount(ids[i]),
+              inproc.CountRange("r", "a", ranges[i].first, ranges[i].second))
+        << "request " << i;
+  }
+  EXPECT_EQ(client.StashedResponses(), 0u);
+  server.Stop();
+}
+
+/// The §5.8 experiment shape over sockets: concurrent clients running
+/// mixed reads and inserts; every count must match an in-process session
+/// oracle computed on the same base data, and the insert bands must be
+/// fully visible afterwards.
+TEST(Server, ConcurrentClientsMixedReadsAndInsertsChecksumMatch) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(50000, kDomain, 12);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+  const uint16_t port = server.port();
+
+  constexpr int kClients = 4;
+  constexpr int kOpsPerClient = 40;
+  constexpr int64_t kBandBase = int64_t{1} << 21;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HolixClient client;
+      client.Connect("127.0.0.1", port);
+      const uint64_t sid = client.OpenSession();
+      Rng rng(100 + c);
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        client.Insert(sid, "r", "a", kBandBase + c * 1000 + i);
+        const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+        const int64_t hi =
+            lo + 1 + static_cast<int64_t>(rng.Below(kDomain / 8));
+        // Base-domain reads are unaffected by the out-of-band inserts.
+        if (client.CountRange(sid, "r", "a", lo, hi) !=
+            test::NaiveCount(data, lo, hi)) {
+          failures.fetch_add(1);
+        }
+      }
+      client.CloseSession(sid);
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every socket insert is visible both over the wire and in-process.
+  HolixClient verify;
+  verify.Connect("127.0.0.1", port);
+  const uint64_t vsid = verify.OpenSession();
+  Session inproc = db.OpenSession();
+  for (int c = 0; c < kClients; ++c) {
+    const int64_t lo = kBandBase + c * 1000;
+    EXPECT_EQ(verify.CountRange(vsid, "r", "a", lo, lo + kOpsPerClient),
+              static_cast<size_t>(kOpsPerClient))
+        << "client " << c;
+    EXPECT_EQ(inproc.CountRange("r", "a", lo, lo + kOpsPerClient),
+              static_cast<size_t>(kOpsPerClient));
+  }
+  EXPECT_GE(server.TotalConnections(), static_cast<uint64_t>(kClients + 1));
+  EXPECT_GE(server.TotalRequests(),
+            static_cast<uint64_t>(kClients * kOpsPerClient * 2));
+  server.Stop();
+}
+
+TEST(Server, StopDrainsInFlightPipelinedQueries) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(200000, kDomain, 13);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  // Fill the wire with pipelined queries, then stop the server while they
+  // are in flight: every dispatched query must still answer (drain), and
+  // the checksum must match the oracle.
+  std::vector<uint64_t> ids;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  Rng rng(14);
+  for (int i = 0; i < 24; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(kDomain));
+    ranges.emplace_back(lo, hi);
+    ids.push_back(client.SendCountRange(sid, "r", "a", lo, hi));
+  }
+  // Anchor: the first response proves the server is mid-stream before the
+  // concurrent Stop() begins.
+  EXPECT_EQ(client.AwaitCount(ids[0]),
+            test::NaiveCount(data, ranges[0].first, ranges[0].second));
+  std::thread stopper([&] { server.Stop(); });
+  size_t answered = 1;
+  for (size_t i = 1; i < ids.size(); ++i) {
+    try {
+      EXPECT_EQ(client.AwaitCount(ids[i]),
+                test::NaiveCount(data, ranges[i].first, ranges[i].second))
+          << "request " << i;
+      ++answered;
+    } catch (const std::runtime_error&) {
+      // The connection may close between two responses once the server
+      // finished draining; everything dispatched before that answered.
+      break;
+    }
+  }
+  stopper.join();
+  EXPECT_FALSE(server.running());
+  EXPECT_GT(answered, 0u);
+}
+
+}  // namespace
+}  // namespace holix::net
