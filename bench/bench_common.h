@@ -93,6 +93,17 @@ inline RunResult RunMode(const DatabaseOptions& opts, const BenchEnv& env,
   return RunWorkload(db, "r", names, queries);
 }
 
+/// Double-keyed variant of RunMode: loads genuine double columns and
+/// replays the same workload through the double-bound facade.
+inline RunResult RunModeF64(const DatabaseOptions& opts, const BenchEnv& env,
+                            size_t num_attrs,
+                            const std::vector<RangeQuery>& queries) {
+  Database db(opts);
+  LoadUniformDoubleTable(db, "r", num_attrs, env.rows, env.domain, env.seed);
+  const auto names = MakeAttributeNames(num_attrs);
+  return RunWorkloadF64(db, "r", names, queries);
+}
+
 inline void PrintScaleNote(const BenchEnv& env, size_t num_attrs) {
   std::printf("# rows/attribute=%zu attrs=%zu queries=%zu cores=%zu "
               "(paper: 2^30 rows, 32 contexts; set HOLIX_SCALE to grow)\n",

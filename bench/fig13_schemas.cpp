@@ -70,7 +70,61 @@ int main() {
     t.Print();
     SaveBenchJson(t, panel.slug);
   }
+  // Panel (e): the same sweep over genuine DOUBLE key columns — the typed
+  // core cracks floating-point attributes through every execution mode
+  // (scan/offline/online/cracking/stochastic/CCGI/holistic). Every mode's
+  // checksum must equal the scan oracle's exactly (counts are integers
+  // even over double keys); a mismatch aborts the bench.
+  {
+    ReportTable t(
+        "Fig 13 (e) double keys, random attrs/values: total cost (s) vs "
+        "#attributes");
+    t.SetHeader({"#attrs", "Scan", "Offline", "Online", "PVDC", "PVSDC",
+                 "CCGI", "HI(W4)"});
+    const ExecMode plain_modes[] = {ExecMode::kScan, ExecMode::kOffline,
+                                    ExecMode::kOnline, ExecMode::kAdaptive,
+                                    ExecMode::kStochastic, ExecMode::kCCGI};
+    for (size_t attrs = 5; attrs <= 10; ++attrs) {
+      WorkloadSpec spec;
+      spec.num_queries = env.queries;
+      spec.num_attributes = attrs;
+      spec.domain = env.domain;
+      spec.pattern = QueryPattern::kRandom;
+      spec.selectivity = 0.001;
+      spec.seed = env.seed + 100 + attrs;
+      const auto queries = GenerateWorkload(spec);
+
+      std::vector<std::string> row = {std::to_string(attrs)};
+      uint64_t oracle = 0;
+      bool have_oracle = false;
+      auto run_checked = [&](const DatabaseOptions& opts) {
+        const RunResult r = RunModeF64(opts, env, attrs, queries);
+        if (!have_oracle) {
+          oracle = r.result_checksum;  // kScan runs first: the oracle
+          have_oracle = true;
+        } else if (r.result_checksum != oracle) {
+          std::printf("!! double-panel checksum mismatch vs scan oracle "
+                      "(mode %s, attrs %zu)\n",
+                      ExecModeName(opts.mode), attrs);
+          std::exit(1);
+        }
+        return r.series.Total();
+      };
+      for (ExecMode m : plain_modes) {
+        row.push_back(FormatSeconds(run_checked(PlainOptions(m, env.cores))));
+      }
+      row.push_back(FormatSeconds(
+          run_checked(HolisticOptions(env.cores / 2, env.cores / 4, 2,
+                                      env.cores, 16, Strategy::kW4))));
+      t.AddRow(row);
+    }
+    t.Print();
+    SaveBenchJson(t, "fig13e");
+  }
+
   std::printf("\n# paper: HI gains grow with #attributes; W4 (random) is "
-              "robust and clearly best on periodic values\n");
+              "robust and clearly best on periodic values; panel (e) runs "
+              "genuine double key columns oracle-checked across all 7 "
+              "modes\n");
   return 0;
 }

@@ -12,7 +12,12 @@
 ///   insert <table> <column> <value>
 ///   delete <table> <column> <value>
 ///   help
+///
+/// Bounds and values are typed: a token that parses as a plain integer is
+/// sent as an int64 scalar, anything else ("2.5", "1e9", "inf", "nan") as
+/// a double scalar. Sums over double columns print as doubles.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -22,6 +27,34 @@
 #include "server/client.h"
 
 namespace {
+
+using holix::KeyScalar;
+
+/// Parses a numeric token into a typed scalar: plain integers become i64
+/// carriers, everything else (fractions, exponents, inf, nan) doubles.
+bool ParseScalar(const std::string& tok, KeyScalar* out) {
+  if (tok.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long i = std::strtoll(tok.c_str(), &end, 10);
+  if (errno == 0 && end != nullptr && *end == '\0') {
+    *out = KeyScalar::I64(i);
+    return true;
+  }
+  errno = 0;
+  const double d = std::strtod(tok.c_str(), &end);
+  if (end == tok.c_str() || *end != '\0') return false;
+  *out = KeyScalar::F64(d);
+  return true;
+}
+
+void PrintScalar(const KeyScalar& s) {
+  if (s.is_f64()) {
+    std::printf("%.17g\n", s.d);
+  } else {
+    std::printf("%lld\n", static_cast<long long>(s.i));
+  }
+}
 
 void PrintHelp() {
   std::printf(
@@ -85,23 +118,24 @@ int main(int argc, char** argv) {
       } else if (cmd == "help") {
         PrintHelp();
       } else if (cmd == "count" || cmd == "sum" || cmd == "select") {
-        std::string table, column;
-        int64_t low, high;
-        if (!(in >> table >> column >> low >> high)) {
+        std::string table, column, lo_tok, hi_tok;
+        KeyScalar low, high;
+        if (!(in >> table >> column >> lo_tok >> hi_tok) ||
+            !ParseScalar(lo_tok, &low) || !ParseScalar(hi_tok, &high)) {
           std::printf("usage: %s <table> <column> <low> <high>\n",
                       cmd.c_str());
           continue;
         }
         if (cmd == "count") {
-          std::printf("%llu\n", static_cast<unsigned long long>(
-                                    client.CountRange(session, table, column,
-                                                      low, high)));
+          std::printf("%llu\n",
+                      static_cast<unsigned long long>(client.CountRangeScalar(
+                          session, table, column, low, high)));
         } else if (cmd == "sum") {
-          std::printf("%lld\n", static_cast<long long>(client.SumRange(
-                                    session, table, column, low, high)));
+          PrintScalar(
+              client.SumRangeScalar(session, table, column, low, high));
         } else {
           const auto rowids =
-              client.SelectRowIds(session, table, column, low, high);
+              client.SelectRowIdsScalar(session, table, column, low, high);
           std::printf("%zu rowids", rowids.size());
           for (size_t i = 0; i < rowids.size() && i < 8; ++i) {
             std::printf(" %llu", static_cast<unsigned long long>(rowids[i]));
@@ -109,30 +143,32 @@ int main(int argc, char** argv) {
           std::printf(rowids.size() > 8 ? " ...\n" : "\n");
         }
       } else if (cmd == "psum") {
-        std::string table, where_col, proj_col;
-        int64_t low, high;
-        if (!(in >> table >> where_col >> proj_col >> low >> high)) {
+        std::string table, where_col, proj_col, lo_tok, hi_tok;
+        KeyScalar low, high;
+        if (!(in >> table >> where_col >> proj_col >> lo_tok >> hi_tok) ||
+            !ParseScalar(lo_tok, &low) || !ParseScalar(hi_tok, &high)) {
           std::printf("usage: psum <table> <where> <proj> <low> <high>\n");
           continue;
         }
-        std::printf("%lld\n",
-                    static_cast<long long>(client.ProjectSum(
-                        session, table, where_col, proj_col, low, high)));
+        PrintScalar(client.ProjectSumScalar(session, table, where_col,
+                                            proj_col, low, high));
       } else if (cmd == "insert" || cmd == "delete") {
-        std::string table, column;
-        int64_t value;
-        if (!(in >> table >> column >> value)) {
+        std::string table, column, val_tok;
+        KeyScalar value;
+        if (!(in >> table >> column >> val_tok) ||
+            !ParseScalar(val_tok, &value)) {
           std::printf("usage: %s <table> <column> <value>\n", cmd.c_str());
           continue;
         }
         if (cmd == "insert") {
           std::printf("rowid %llu\n",
-                      static_cast<unsigned long long>(
-                          client.Insert(session, table, column, value)));
+                      static_cast<unsigned long long>(client.InsertScalar(
+                          session, table, column, value)));
         } else {
-          std::printf("%s\n", client.Delete(session, table, column, value)
-                                  ? "deleted"
-                                  : "not found");
+          std::printf("%s\n",
+                      client.DeleteScalar(session, table, column, value)
+                          ? "deleted"
+                          : "not found");
         }
       } else {
         std::printf("unknown command '%s' (try `help`)\n", cmd.c_str());

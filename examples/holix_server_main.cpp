@@ -21,6 +21,7 @@
 
 #include "engine/database.h"
 #include "harness/runner.h"
+#include "workload/workload.h"
 #include "server/server.h"
 
 namespace {
@@ -84,8 +85,14 @@ int main(int argc, char** argv) {
   holix::Database db(opts);
   holix::LoadUniformTable(db, "r", attrs, rows, /*domain=*/int64_t{1} << 30,
                           seed);
-  std::printf("loaded table r: %zu attrs x %zu rows (mode=%s)\n", attrs, rows,
-              holix::ExecModeName(mode));
+  // One genuine double attribute beside the integer ones, so socket
+  // clients can exercise the typed f64 scalar path (e.g. `sum r d0 ...`
+  // from holix_cli prints a double).
+  db.LoadColumn<double>(
+      "r", "d0",
+      holix::GenerateUniformDoubleColumn(rows, int64_t{1} << 30, seed + 97));
+  std::printf("loaded table r: %zu attrs x %zu rows + double d0 (mode=%s)\n",
+              attrs, rows, holix::ExecModeName(mode));
 
   holix::net::ServerOptions server_opts;
   server_opts.port = port;

@@ -12,6 +12,7 @@
 
 #include "storage/column.h"
 #include "storage/position_list.h"
+#include "storage/types.h"
 #include "util/thread_pool.h"
 
 namespace holix {
@@ -25,7 +26,9 @@ size_t ParallelScanCount(const T* data, size_t n, T low, T high,
                          ThreadPool& pool, size_t threads,
                          bool closed_high = false) {
   const auto hit = [low, high, closed_high](T v) {
-    return v >= low && (closed_high ? v <= high : v < high);
+    return !KeyTraits<T>::Less(v, low) &&
+           (closed_high ? !KeyTraits<T>::Less(high, v)
+                        : KeyTraits<T>::Less(v, high));
   };
   threads = std::max<size_t>(1, std::min(threads, pool.size() + 1));
   if (threads <= 1 || n < (1u << 14)) {
@@ -54,7 +57,9 @@ PositionList ParallelScanSelect(const T* data, size_t n, T low, T high,
                                 ThreadPool& pool, size_t threads,
                                 bool closed_high = false) {
   const auto hit = [low, high, closed_high](T v) {
-    return v >= low && (closed_high ? v <= high : v < high);
+    return !KeyTraits<T>::Less(v, low) &&
+           (closed_high ? !KeyTraits<T>::Less(high, v)
+                        : KeyTraits<T>::Less(v, high));
   };
   threads = std::max<size_t>(1, std::min(threads, pool.size() + 1));
   if (threads <= 1 || n < (1u << 14)) {

@@ -34,7 +34,8 @@ class SortedIndex {
       entries_[i] = {base[i], static_cast<RowId>(i)};
     }
     ParallelSort(entries_, pool, [](const Entry& a, const Entry& b) {
-      return a.value < b.value || (a.value == b.value && a.rowid < b.rowid);
+      if (KeyTraits<T>::Less(a.value, b.value)) return true;
+      return KeyTraits<T>::Eq(a.value, b.value) && a.rowid < b.rowid;
     });
   }
 
@@ -45,7 +46,9 @@ class SortedIndex {
 
   /// Positions (in sorted order) of values in [low, high): O(log N).
   PositionRange SelectRange(T low, T high) const {
-    const auto cmp = [](const Entry& e, T v) { return e.value < v; };
+    const auto cmp = [](const Entry& e, T v) {
+      return KeyTraits<T>::Less(e.value, v);
+    };
     const auto b = std::lower_bound(entries_.begin(), entries_.end(), low, cmp);
     const auto e = std::lower_bound(entries_.begin(), entries_.end(), high, cmp);
     return {static_cast<size_t>(b - entries_.begin()),
@@ -56,13 +59,16 @@ class SortedIndex {
   size_t CountRange(T low, T high) const { return SelectRange(low, high).size(); }
 
   /// Positions of values in the closed range [low, high]: the form that can
-  /// reach max(T), which the exclusive-high select cannot express.
+  /// reach the total-order maximum, which the exclusive-high select cannot
+  /// express.
   PositionRange SelectRangeClosed(T low, T high) const {
-    const auto cmp = [](const Entry& e, T v) { return e.value < v; };
+    const auto cmp = [](const Entry& e, T v) {
+      return KeyTraits<T>::Less(e.value, v);
+    };
     const auto b = std::lower_bound(entries_.begin(), entries_.end(), low, cmp);
     const auto e = std::upper_bound(
         entries_.begin(), entries_.end(), high,
-        [](T v, const Entry& en) { return v < en.value; });
+        [](T v, const Entry& en) { return KeyTraits<T>::Less(v, en.value); });
     return {static_cast<size_t>(b - entries_.begin()),
             static_cast<size_t>(e - entries_.begin())};
   }

@@ -15,6 +15,11 @@
 /// All kernels partition values and co-move an attached rowid array (and,
 /// for the scalar kernels, arbitrary extra payload arrays via the swap
 /// functor), because cracker columns are (value, rowid) pairs.
+///
+/// Ordering goes through KeyTraits<T>::Less, never raw `<`: for integers it
+/// compiles to the identical compare, for doubles it is the engine's total
+/// order (NaN above +inf, -0.0 == +0.0) — with raw `<` a NaN would satisfy
+/// neither `< pivot` nor `>= pivot` and the Hoare kernel would spin.
 
 #pragma once
 
@@ -35,8 +40,8 @@ size_t CrackInTwoScalar(T* v, size_t lo, size_t hi, T pivot, SwapFn&& swap) {
   size_t i = lo;
   size_t j = hi;
   while (i < j) {
-    while (i < j && v[i] < pivot) ++i;
-    while (i < j && v[j - 1] >= pivot) --j;
+    while (i < j && KeyTraits<T>::Less(v[i], pivot)) ++i;
+    while (i < j && !KeyTraits<T>::Less(v[j - 1], pivot)) --j;
     if (i < j) {
       swap(i, j - 1);
       ++i;
@@ -57,11 +62,11 @@ std::pair<size_t, size_t> CrackInThreeScalar(T* v, size_t lo_idx,
   size_t k = lo_idx;  // scan cursor
   size_t j = hi_idx;  // first slot of ">= high"
   while (k < j) {
-    if (v[k] < low) {
+    if (KeyTraits<T>::Less(v[k], low)) {
       if (i != k) swap(i, k);
       ++i;
       ++k;
-    } else if (v[k] >= high) {
+    } else if (!KeyTraits<T>::Less(v[k], high)) {
       --j;
       swap(k, j);
     } else {
@@ -115,7 +120,7 @@ size_t CrackInTwoOutOfPlace(T* v, RowId* ids, size_t lo, size_t hi, T pivot,
     ib[f] = r;
     vb[b] = x;
     ib[b] = r;
-    const bool lt = x < pivot;
+    const bool lt = KeyTraits<T>::Less(x, pivot);
     f += lt;
     b -= !lt;
   }

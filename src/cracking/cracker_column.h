@@ -133,7 +133,7 @@ class CrackerColumn {
   /// updates overlapping the range first (Ripple, [28]).
   PositionRange SelectRange(T low, T high, const CrackConfig& cfg = {}) {
     stats_.accesses.fetch_add(1, std::memory_order_relaxed);
-    if (low >= high) return {0, 0};
+    if (!KeyTraits<T>::Less(low, high)) return {0, 0};
     // Merge before the emptiness check: a column loaded empty can still
     // have pending inserts in range, and they must become visible here.
     MergePendingInRange(low, high);
@@ -158,16 +158,17 @@ class CrackerColumn {
   }
 
   /// Range select over the closed interval [low, high]: the form that can
-  /// reach max(T), which SelectRange's exclusive high cannot express
-  /// without overflowing. Away from the type boundary this is exactly
-  /// SelectRange(low, high + 1); at high == max(T) it cracks the low bound
-  /// only and the qualifying rows run to the end of the column.
+  /// reach the total-order maximum (max(T) for integers, the NaN key for
+  /// doubles), which SelectRange's exclusive high cannot express. Away from
+  /// the order's top this is exactly SelectRange(low, Next(high)); at
+  /// high == Highest() it cracks the low bound only and the qualifying
+  /// rows run to the end of the column.
   PositionRange SelectRangeClosed(T low, T high, const CrackConfig& cfg = {}) {
-    if (high < std::numeric_limits<T>::max()) {
-      return SelectRange(low, static_cast<T>(high + 1), cfg);
+    if (!KeyTraits<T>::IsHighest(high)) {
+      return SelectRange(low, KeyTraits<T>::Next(high), cfg);
     }
     stats_.accesses.fetch_add(1, std::memory_order_relaxed);
-    if (low > high) return {0, 0};
+    if (KeyTraits<T>::Less(high, low)) return {0, 0};
     MergePendingAtLeast(low);
     if (size() == 0) return {0, 0};
     ReadGuard column_guard(column_latch_);
@@ -206,18 +207,18 @@ class CrackerColumn {
         const size_t probe =
             cur.begin + cfg.rng->Below(std::max<size_t>(1, cur.size()));
         const T rnd_pivot = values_[probe];
-        if (rnd_pivot <= cur.lo_value.value_or(
-                             std::numeric_limits<T>::lowest()) ||
-            rnd_pivot == w) {
-          break;  // degenerate pivot; no order to impose
-        }
+        const bool degenerate =
+            !KeyTraits<T>::Less(cur.lo_value.value_or(KeyTraits<T>::Lowest()),
+                                rnd_pivot) ||
+            KeyTraits<T>::Eq(rnd_pivot, w);
+        if (degenerate) break;  // no order to impose
         const size_t cut = Partition(cur.begin, cur.end, rnd_pivot, cfg);
         InsertBoundary(rnd_pivot, cut);
         stats_.query_cracks.fetch_add(1, std::memory_order_relaxed);
-        if (w < rnd_pivot) {
+        if (KeyTraits<T>::Less(w, rnd_pivot)) {
           cur.end = cut;
           cur.hi_value = rnd_pivot;
-        } else if (w > rnd_pivot) {
+        } else if (KeyTraits<T>::Less(rnd_pivot, w)) {
           // Piece latch of [cut, end) is the new boundary's latch; we must
           // switch latches: release ours, retry from the top.
           piece.latch->UnlockWrite();
@@ -309,10 +310,13 @@ class CrackerColumn {
   }
 
   /// Sum of values in \p range (a cheap aggregate used by benchmarks to
-  /// force result consumption).
-  int64_t SumRange(PositionRange range) const {
-    int64_t sum = 0;
-    ScanRange(range, [&](T v, RowId) { sum += static_cast<int64_t>(v); });
+  /// force result consumption). Accumulates in the key type's Sum type:
+  /// int64 for integer keys, double for double keys.
+  typename KeyTraits<T>::Sum SumRange(PositionRange range) const {
+    typename KeyTraits<T>::Sum sum = 0;
+    ScanRange(range, [&](T v, RowId) {
+      sum += static_cast<typename KeyTraits<T>::Sum>(v);
+    });
     return sum;
   }
 
@@ -426,14 +430,14 @@ class CrackerColumn {
     auto check_piece = [&](size_t lo, size_t hi, std::optional<T> lo_v,
                            std::optional<T> hi_v) {
       for (size_t i = lo; i < hi; ++i) {
-        if (lo_v && values_[i] < *lo_v) ok = false;
-        if (hi_v && values_[i] >= *hi_v) ok = false;
+        if (lo_v && KeyTraits<T>::Less(values_[i], *lo_v)) ok = false;
+        if (hi_v && !KeyTraits<T>::Less(values_[i], *hi_v)) ok = false;
       }
     };
     std::optional<T> lo_v;
     index_.ForEachBoundary([&](const typename CrackerIndex<T>::Node& n) {
       if (n.pos < prev_pos) ok = false;
-      if (prev_val && !(*prev_val < n.value)) ok = false;
+      if (prev_val && !KeyTraits<T>::Less(*prev_val, n.value)) ok = false;
       check_piece(prev_pos, n.pos, lo_v, n.value);
       prev_pos = n.pos;
       lo_v = n.value;
@@ -459,9 +463,11 @@ class CrackerColumn {
   void InitDomain() {
     row_count_.store(values_.size(), std::memory_order_relaxed);
     if (!values_.empty()) {
-      auto [mn, mx] = std::minmax_element(values_.begin(), values_.end());
-      min_value_.store(*mn, std::memory_order_relaxed);
-      max_value_.store(*mx, std::memory_order_relaxed);
+      auto [mn, mx] = std::minmax_element(
+          values_.begin(), values_.end(),
+          [](T a, T b) { return KeyTraits<T>::Less(a, b); });
+      min_value_.store(KeyTraits<T>::Canonical(*mn), std::memory_order_relaxed);
+      max_value_.store(KeyTraits<T>::Canonical(*mx), std::memory_order_relaxed);
     }
   }
 
@@ -520,16 +526,18 @@ class CrackerColumn {
   std::optional<PositionRange> TryCrackInThree(T low, T high,
                                                const CrackConfig& cfg) {
     PieceRef<T> piece = LookupPiece(low);
-    if (piece.exact || piece.hi_value.value_or(high) < high ||
-        (piece.hi_value && *piece.hi_value == high)) {
+    // The piece must strictly contain both bounds: high below (not at)
+    // the piece's upper boundary when one exists.
+    if (piece.exact ||
+        KeyTraits<T>::Less(piece.hi_value.value_or(high), high) ||
+        (piece.hi_value && KeyTraits<T>::Eq(*piece.hi_value, high))) {
       return std::nullopt;
     }
-    if (piece.hi_value && high > *piece.hi_value) return std::nullopt;
     piece.latch->LockWrite();
     PieceRef<T> cur = LookupPiece(low);
     const bool still_spans =
         !cur.exact && cur.latch == piece.latch &&
-        (!cur.hi_value || high < *cur.hi_value);
+        (!cur.hi_value || KeyTraits<T>::Less(high, *cur.hi_value));
     if (!still_spans) {
       piece.latch->UnlockWrite();
       return std::nullopt;
@@ -577,12 +585,13 @@ class CrackerColumn {
       lo_v = piece.lo_value;
       hi_v = piece.hi_value;
     }
-    const T low = lo_v.value_or(std::numeric_limits<T>::lowest());
+    const T low = lo_v.value_or(KeyTraits<T>::Lowest());
     if (hi_v.has_value()) {
       MergePendingInRange(low, *hi_v);
     } else {
-      // Tail piece: the closed tail [low, max(T)] — an exclusive high of
-      // max(T) would leave a pending row holding exactly max(T) unmerged.
+      // Tail piece: the closed tail [low, Highest()] — an exclusive high
+      // cannot express the order's top, and an approximation would leave a
+      // pending row holding exactly the maximum key unmerged.
       MergePendingAtLeast(low);
     }
   }
@@ -599,7 +608,7 @@ class CrackerColumn {
     // at that boundary's position.
     size_t j = nodes.size();
     for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i]->value > v) {
+      if (KeyTraits<T>::Less(v, nodes[i]->value)) {
         j = i;
         break;
       }
@@ -623,9 +632,9 @@ class CrackerColumn {
       min_value_.store(v, std::memory_order_relaxed);
       max_value_.store(v, std::memory_order_relaxed);
     } else {
-      if (v < min_value_.load(std::memory_order_relaxed))
+      if (KeyTraits<T>::Less(v, min_value_.load(std::memory_order_relaxed)))
         min_value_.store(v, std::memory_order_relaxed);
-      if (v > max_value_.load(std::memory_order_relaxed))
+      if (KeyTraits<T>::Less(max_value_.load(std::memory_order_relaxed), v))
         max_value_.store(v, std::memory_order_relaxed);
     }
   }
@@ -638,7 +647,7 @@ class CrackerColumn {
     size_t j = nodes.size();
     size_t begin = 0;
     for (size_t i = 0; i < nodes.size(); ++i) {
-      if (nodes[i]->value > v) {
+      if (KeyTraits<T>::Less(v, nodes[i]->value)) {
         j = i;
         break;
       }
@@ -647,7 +656,7 @@ class CrackerColumn {
     const size_t end = j < nodes.size() ? nodes[j]->pos : values_.size();
     size_t found = end;
     for (size_t i = begin; i < end; ++i) {
-      if (values_[i] == v && rowids_[i] == rid) {
+      if (KeyTraits<T>::Eq(values_[i], v) && rowids_[i] == rid) {
         found = i;
         break;
       }
@@ -690,5 +699,6 @@ class CrackerColumn {
 
 using Int32CrackerColumn = CrackerColumn<int32_t>;
 using Int64CrackerColumn = CrackerColumn<int64_t>;
+using DoubleCrackerColumn = CrackerColumn<double>;
 
 }  // namespace holix

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "storage/types.h"
 #include "util/latch.h"
 
 namespace holix {
@@ -67,8 +68,9 @@ class CrackerIndex {
   bool HasBoundary(T value) const {
     const Node* n = root_.get();
     while (n != nullptr) {
-      if (value == n->value) return true;
-      n = value < n->value ? n->left.get() : n->right.get();
+      if (KeyTraits<T>::Eq(value, n->value)) return true;
+      n = KeyTraits<T>::Less(value, n->value) ? n->left.get()
+                                              : n->right.get();
     }
     return false;
   }
@@ -86,7 +88,7 @@ class CrackerIndex {
     const Node* lower = nullptr;  // largest boundary value <= value
     const Node* upper = nullptr;  // smallest boundary value >  value
     while (n != nullptr) {
-      if (n->value <= value) {
+      if (!KeyTraits<T>::Less(value, n->value)) {
         lower = n;
         n = n->right.get();
       } else {
@@ -98,7 +100,7 @@ class CrackerIndex {
       ref.begin = lower->pos;
       ref.latch = &lower->latch;
       ref.lo_value = lower->value;
-      ref.exact = (lower->value == value);
+      ref.exact = KeyTraits<T>::Eq(lower->value, value);
     }
     if (upper != nullptr) {
       ref.end = upper->pos;
@@ -215,8 +217,8 @@ class CrackerIndex {
       ++count_;
       return;
     }
-    if (value == n->value) return;  // boundary already present
-    if (value < n->value) {
+    if (KeyTraits<T>::Eq(value, n->value)) return;  // boundary already present
+    if (KeyTraits<T>::Less(value, n->value)) {
       InsertRec(n->left, value, pos);
     } else {
       InsertRec(n->right, value, pos);

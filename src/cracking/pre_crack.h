@@ -11,12 +11,36 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <type_traits>
 
 #include "cracking/crack_config.h"
 #include "cracking/cracker_column.h"
 
 namespace holix {
+
+/// The i-th of n equi-width grid pivots between \p lo and \p hi. Integer
+/// domains interpolate in rank space (exact, overflow-free for domains
+/// spanning all of T); double domains interpolate in value space when the
+/// endpoints are finite, falling back to rank space for domains that reach
+/// the infinities (where "value width" is meaningless).
+template <typename T>
+T EquiWidthPivot(T lo, T hi, size_t i, size_t n) {
+  const double f = static_cast<double>(i) / static_cast<double>(n);
+  if constexpr (std::is_floating_point_v<T>) {
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      // Convex combination: never overflows for finite endpoints.
+      const T p = static_cast<T>(lo * (1.0 - f) + hi * f);
+      if (std::isfinite(p)) return p;
+    }
+  }
+  const uint64_t rlo = KeyTraits<T>::ToRank(lo);
+  const uint64_t rhi = KeyTraits<T>::ToRank(hi);
+  const uint64_t off =
+      static_cast<uint64_t>(static_cast<double>(rhi - rlo) * f);
+  return KeyTraits<T>::FromRank(rlo + off);
+}
 
 /// Splits \p col into \p pieces equi-width value ranges by cracking at the
 /// k-1 interior grid pivots. Uses the kernel selected by \p cfg (parallel
@@ -27,12 +51,12 @@ void PreCrackEquiWidth(CrackerColumn<T>& col, size_t pieces,
   if (pieces < 2 || col.size() == 0) return;
   const T lo = col.MinValue();
   const T hi = col.MaxValue();
-  if (lo >= hi) return;
-  const double width =
-      (static_cast<double>(hi) - static_cast<double>(lo)) / pieces;
+  if (!KeyTraits<T>::Less(lo, hi)) return;
   for (size_t i = 1; i < pieces; ++i) {
-    const T pivot = static_cast<T>(static_cast<double>(lo) + width * i);
-    if (pivot <= lo || pivot > hi) continue;
+    const T pivot = EquiWidthPivot(lo, hi, i, pieces);
+    if (!KeyTraits<T>::Less(lo, pivot) || KeyTraits<T>::Less(hi, pivot)) {
+      continue;
+    }
     col.CrackAtBlocking(pivot, cfg);
   }
 }

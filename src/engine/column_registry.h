@@ -14,7 +14,8 @@
 /// Each entry carries the *typed* runtime of its attribute — the base
 /// Column<T> plus lazily built CrackerColumn<T> / SortedIndex<T>, published
 /// through atomic shared_ptr slots — which is what makes the engine layer
-/// generic over the element type (int32_t and int64_t today).
+/// generic over the element type (int32_t, int64_t and double; doubles
+/// order through the KeyTraits<double> total order).
 
 #pragma once
 
@@ -87,12 +88,15 @@ class ColumnEntry {
   /// callers dispatch on type() first (DispatchIndexableType).
   template <typename T>
   std::unique_ptr<TypedColumnRuntime<T>>& rt() {
-    static_assert(std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>,
+    static_assert(std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t> ||
+                      std::is_same_v<T, double>,
                   "no typed runtime for this element type");
     if constexpr (std::is_same_v<T, int32_t>) {
       return rt32_;
-    } else {
+    } else if constexpr (std::is_same_v<T, int64_t>) {
       return rt64_;
+    } else {
+      return rtf64_;
     }
   }
   template <typename T>
@@ -113,6 +117,10 @@ class ColumnEntry {
     if (rt64_) {
       rt64_->cracker.store(nullptr, std::memory_order_release);
       rt64_->sorted.store(nullptr, std::memory_order_release);
+    }
+    if (rtf64_) {
+      rtf64_->cracker.store(nullptr, std::memory_order_release);
+      rtf64_->sorted.store(nullptr, std::memory_order_release);
     }
     adapter.store(nullptr, std::memory_order_release);
     store_state.store(StoreState::kUnregistered, std::memory_order_release);
@@ -136,6 +144,7 @@ class ColumnEntry {
   ValueType type_;
   std::unique_ptr<TypedColumnRuntime<int32_t>> rt32_;
   std::unique_ptr<TypedColumnRuntime<int64_t>> rt64_;
+  std::unique_ptr<TypedColumnRuntime<double>> rtf64_;
 };
 
 /// A resolved reference to one attribute: resolve once, query many times.

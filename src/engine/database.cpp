@@ -90,39 +90,122 @@ Session Database::OpenSession(SessionOptions options) {
   return Session(this, id, seed);
 }
 
-size_t Database::CountRange(const ColumnHandle& column, int64_t low,
-                            int64_t high, const QueryContext& qctx) {
+// --- Scalar core ------------------------------------------------------------
+
+size_t Database::CountRangeScalar(const ColumnHandle& column, KeyScalar low,
+                                  KeyScalar high, const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
   return executor_->CountRange(column, low, high, qctx);
 }
 
-int64_t Database::SumRange(const ColumnHandle& column, int64_t low,
-                           int64_t high, const QueryContext& qctx) {
+KeyScalar Database::SumRangeScalar(const ColumnHandle& column, KeyScalar low,
+                                   KeyScalar high, const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
   return executor_->SumRange(column, low, high, qctx);
 }
 
-PositionList Database::SelectRowIds(const ColumnHandle& column, int64_t low,
-                                    int64_t high, const QueryContext& qctx) {
+PositionList Database::SelectRowIdsScalar(const ColumnHandle& column,
+                                          KeyScalar low, KeyScalar high,
+                                          const QueryContext& qctx) {
   SlotLease lease(slot_monitor_, options_.user_threads);
   return executor_->SelectRowIds(column, low, high, qctx);
+}
+
+KeyScalar Database::ProjectSumScalar(const ColumnHandle& where_column,
+                                     const ColumnHandle& project_column,
+                                     KeyScalar low, KeyScalar high,
+                                     const QueryContext& qctx) {
+  SlotLease lease(slot_monitor_, options_.user_threads);
+  return executor_->ProjectSum(where_column, project_column, low, high, qctx);
+}
+
+RowId Database::InsertScalar(const ColumnHandle& column, KeyScalar value,
+                             const QueryContext& qctx) {
+  return executor_->Insert(column, value, qctx);
+}
+
+bool Database::DeleteScalar(const ColumnHandle& column, KeyScalar value,
+                            const QueryContext& qctx) {
+  return executor_->Delete(column, value, qctx);
+}
+
+// --- int64 facade -----------------------------------------------------------
+
+size_t Database::CountRange(const ColumnHandle& column, int64_t low,
+                            int64_t high, const QueryContext& qctx) {
+  return CountRangeScalar(column, KeyScalar::I64(low), KeyScalar::I64(high),
+                          qctx);
+}
+
+int64_t Database::SumRange(const ColumnHandle& column, int64_t low,
+                           int64_t high, const QueryContext& qctx) {
+  return SumRangeScalar(column, KeyScalar::I64(low), KeyScalar::I64(high),
+                        qctx)
+      .AsI64Saturating();
+}
+
+PositionList Database::SelectRowIds(const ColumnHandle& column, int64_t low,
+                                    int64_t high, const QueryContext& qctx) {
+  return SelectRowIdsScalar(column, KeyScalar::I64(low), KeyScalar::I64(high),
+                            qctx);
 }
 
 int64_t Database::ProjectSum(const ColumnHandle& where_column,
                              const ColumnHandle& project_column, int64_t low,
                              int64_t high, const QueryContext& qctx) {
-  SlotLease lease(slot_monitor_, options_.user_threads);
-  return executor_->ProjectSum(where_column, project_column, low, high, qctx);
+  return ProjectSumScalar(where_column, project_column, KeyScalar::I64(low),
+                          KeyScalar::I64(high), qctx)
+      .AsI64Saturating();
 }
 
 RowId Database::Insert(const ColumnHandle& column, int64_t value,
                        const QueryContext& qctx) {
-  return executor_->Insert(column, value, qctx);
+  return InsertScalar(column, KeyScalar::I64(value), qctx);
 }
 
 bool Database::Delete(const ColumnHandle& column, int64_t value,
                       const QueryContext& qctx) {
-  return executor_->Delete(column, value, qctx);
+  return DeleteScalar(column, KeyScalar::I64(value), qctx);
+}
+
+// --- double facade ----------------------------------------------------------
+
+size_t Database::CountRangeF64(const ColumnHandle& column, double low,
+                               double high, const QueryContext& qctx) {
+  return CountRangeScalar(column, KeyScalar::F64(low), KeyScalar::F64(high),
+                          qctx);
+}
+
+double Database::SumRangeF64(const ColumnHandle& column, double low,
+                             double high, const QueryContext& qctx) {
+  return SumRangeScalar(column, KeyScalar::F64(low), KeyScalar::F64(high),
+                        qctx)
+      .AsF64();
+}
+
+PositionList Database::SelectRowIdsF64(const ColumnHandle& column, double low,
+                                       double high,
+                                       const QueryContext& qctx) {
+  return SelectRowIdsScalar(column, KeyScalar::F64(low), KeyScalar::F64(high),
+                            qctx);
+}
+
+double Database::ProjectSumF64(const ColumnHandle& where_column,
+                               const ColumnHandle& project_column, double low,
+                               double high, const QueryContext& qctx) {
+  return ProjectSumScalar(where_column, project_column, KeyScalar::F64(low),
+                          KeyScalar::F64(high), qctx)
+      .AsF64();
+}
+
+RowId Database::InsertF64(const ColumnHandle& column, double value,
+                          const QueryContext& qctx) {
+  return InsertScalar(column, KeyScalar::F64(value), qctx);
+}
+
+bool Database::DeleteF64(const ColumnHandle& column, double value,
+                         const QueryContext& qctx) {
+  return DeleteScalar(column, KeyScalar::F64(value), qctx);
 }
 
 size_t Database::TotalIndexPieces() const {

@@ -22,8 +22,10 @@
 ///    (session.h; OpenSession()).
 ///
 /// Attributes are generic over the element type via the typed column
-/// runtime (int32_t and int64_t); the string-based int64 query API remains
-/// source-compatible and works against any indexable column type.
+/// runtime (int32_t, int64_t and double); the string-based int64 query API
+/// remains source-compatible and works against any indexable column type,
+/// and the *Scalar / *F64 entry points carry typed bounds end-to-end (a
+/// double column's sums stay doubles all the way to the wire).
 
 #pragma once
 
@@ -57,21 +59,17 @@ class Database {
   /// Schema and base data.
   Catalog& catalog() { return catalog_; }
 
-  /// Creates table \p table (if needed) and adds a typed column. The
-  /// engine indexes int32_t and int64_t attributes; other element types
-  /// (double) load as storage-only — visible through catalog(), not
-  /// queryable through the facade.
+  /// Creates table \p table (if needed) and adds a typed column. Every
+  /// supported element type (int32_t, int64_t, double) is indexable and
+  /// queryable through the facade; doubles order through the
+  /// KeyTraits<double> total order (NaN above +inf, -0.0 == +0.0).
   template <typename T>
   void LoadColumn(const std::string& table, const std::string& column,
                   std::vector<T> data) {
     Table& t = catalog_.CreateTable(table);
     const size_t rows = data.size();
     Column<T>& stored = t.AddColumn<T>(column, std::move(data));
-    if constexpr (std::is_same_v<T, int32_t> || std::is_same_v<T, int64_t>) {
-      registry_.Add<T>(table, column, &stored);
-    } else {
-      (void)stored;
-    }
+    registry_.Add<T>(table, column, &stored);
     RaiseRowIdFloor(rows);
   }
 
@@ -97,13 +95,39 @@ class Database {
   /// Opens a per-client session (handle cache, private RNG, async path).
   Session OpenSession(SessionOptions options = {});
 
-  // --- Handle-based query API (no global mutex, no string hashing) -------
+  // --- Handle-based scalar query API (the typed core; no global mutex,
+  //     no string hashing). Bounds/values are tagged int64-or-double
+  //     KeyScalars, exactly what the wire protocol carries. ---------------
+
+  size_t CountRangeScalar(const ColumnHandle& column, KeyScalar low,
+                          KeyScalar high, const QueryContext& qctx = {});
+  /// Result carrier follows the column type (double columns sum to f64).
+  KeyScalar SumRangeScalar(const ColumnHandle& column, KeyScalar low,
+                           KeyScalar high, const QueryContext& qctx = {});
+  PositionList SelectRowIdsScalar(const ColumnHandle& column, KeyScalar low,
+                                  KeyScalar high,
+                                  const QueryContext& qctx = {});
+  /// Result carrier follows the PROJECT column's type.
+  KeyScalar ProjectSumScalar(const ColumnHandle& where_column,
+                             const ColumnHandle& project_column,
+                             KeyScalar low, KeyScalar high,
+                             const QueryContext& qctx = {});
+  RowId InsertScalar(const ColumnHandle& column, KeyScalar value,
+                     const QueryContext& qctx = {});
+  bool DeleteScalar(const ColumnHandle& column, KeyScalar value,
+                    const QueryContext& qctx = {});
+
+  // --- Handle-based int64 query API (source-compatible; works against
+  //     every column type — int64 bounds clamp exactly into narrower or
+  //     double domains) --------------------------------------------------
 
   /// select count(*) from ... where low <= column < high.
   size_t CountRange(const ColumnHandle& column, int64_t low, int64_t high,
                     const QueryContext& qctx = {});
 
   /// select sum(column) ... : forces the engine to touch qualifying rows.
+  /// On a double column the f64 sum is rounded to nearest and saturated
+  /// (NaN maps to 0); use SumRangeF64/SumRangeScalar for the exact value.
   int64_t SumRange(const ColumnHandle& column, int64_t low, int64_t high,
                    const QueryContext& qctx = {});
 
@@ -128,6 +152,25 @@ class Database {
   /// a matching row was found.
   bool Delete(const ColumnHandle& column, int64_t value,
               const QueryContext& qctx = {});
+
+  // --- Handle-based double query API (F64-suffixed so integer literals
+  //     keep resolving to the int64 overloads). An exclusive high equal to
+  //     the NaN key (the double order's maximum) degrades to the closed
+  //     bound, so CountRangeF64(h, NaN, NaN) counts exactly the NaN rows. --
+
+  size_t CountRangeF64(const ColumnHandle& column, double low, double high,
+                       const QueryContext& qctx = {});
+  double SumRangeF64(const ColumnHandle& column, double low, double high,
+                     const QueryContext& qctx = {});
+  PositionList SelectRowIdsF64(const ColumnHandle& column, double low,
+                               double high, const QueryContext& qctx = {});
+  double ProjectSumF64(const ColumnHandle& where_column,
+                       const ColumnHandle& project_column, double low,
+                       double high, const QueryContext& qctx = {});
+  RowId InsertF64(const ColumnHandle& column, double value,
+                  const QueryContext& qctx = {});
+  bool DeleteF64(const ColumnHandle& column, double value,
+                 const QueryContext& qctx = {});
 
   // --- Name-based query API (source-compatible; resolves per call) -------
 
@@ -158,6 +201,22 @@ class Database {
   bool Delete(const std::string& table, const std::string& column,
               int64_t value) {
     return Delete(Resolve(table, column), value);
+  }
+  size_t CountRangeF64(const std::string& table, const std::string& column,
+                       double low, double high) {
+    return CountRangeF64(Resolve(table, column), low, high);
+  }
+  double SumRangeF64(const std::string& table, const std::string& column,
+                     double low, double high) {
+    return SumRangeF64(Resolve(table, column), low, high);
+  }
+  RowId InsertF64(const std::string& table, const std::string& column,
+                  double value) {
+    return InsertF64(Resolve(table, column), value);
+  }
+  bool DeleteF64(const std::string& table, const std::string& column,
+                 double value) {
+    return DeleteF64(Resolve(table, column), value);
   }
 
   // --- Mode-specific operations ------------------------------------------

@@ -1,7 +1,9 @@
 #include "engine/query_executor.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <type_traits>
@@ -21,12 +23,28 @@ Rng& ThreadLocalQueryRng(uint64_t seed) {
   return rng;
 }
 
-/// Query bounds arrive as int64 at the facade; narrower column types clamp
-/// them to the type's domain. When the int64 exclusive high exceeds max(T)
-/// the range degrades to the *closed* bound [lo, max(T)] — every value of
-/// the type up to and including max(T) satisfies the original predicate —
-/// and the typed select machinery runs its closed-bound primitive, so a
-/// row holding exactly max(T) stays selectable through the int64 facade.
+/// The smallest double whose real value is >= the int64 \p v, computed
+/// exactly and portably: static_cast rounds to nearest, so a result below
+/// v (possible beyond 2^53) is bumped one ulp up. The "is d < v" check is
+/// pure integer arithmetic — d is integral and in int64 range whenever it
+/// isn't 2^63, so casting it back is exact (no long double needed).
+double DoubleAtLeast(int64_t v) {
+  double d = static_cast<double>(v);
+  if (d >= 9223372036854775808.0) return d;  // 2^63: above every int64
+  if (static_cast<int64_t>(d) < v) {
+    d = std::nextafter(d, std::numeric_limits<double>::infinity());
+  }
+  return d;
+}
+
+/// Query bounds arrive as KeyScalars at the facade; the typed path clamps
+/// them into the column type's domain. When the (exclusive) high cannot be
+/// expressed inside the type — an int64 high beyond max(T), or the double
+/// NaN key, which is the double order's maximum — the range degrades to
+/// the *closed* bound [lo, Highest]: every value of the type up to and
+/// including the order's top satisfies the original predicate, and the
+/// typed select machinery runs its closed-bound primitive, so a row
+/// holding exactly max(T) (or the NaN key) stays selectable.
 template <typename T>
 struct Bounds {
   T lo{};
@@ -35,30 +53,131 @@ struct Bounds {
   bool closed_high = false;  ///< Select [lo, hi] instead of [lo, hi).
 };
 
+/// Smallest key of integer type T that is >= the scalar bound \p lo
+/// (exact for both carriers); nullopt when the bound sits above all of T.
 template <typename T>
-Bounds<T> ClampBounds(int64_t lo, int64_t hi) {
-  if (lo >= hi) return {T{}, T{}, true, false};
-  if constexpr (std::is_same_v<T, int64_t>) {
-    return {lo, hi, false, false};
+std::optional<T> IntFirstAtLeast(KeyScalar lo) {
+  constexpr T tmin = std::numeric_limits<T>::min();
+  constexpr T tmax = std::numeric_limits<T>::max();
+  if (!lo.is_f64()) {
+    if (lo.i > static_cast<int64_t>(tmax)) return std::nullopt;
+    if (lo.i < static_cast<int64_t>(tmin)) return tmin;
+    return static_cast<T>(lo.i);
+  }
+  const double d = lo.d;
+  if (std::isnan(d)) return std::nullopt;  // the order's top: above all of T
+  if (d <= static_cast<double>(tmin)) return tmin;
+  const double cl = std::ceil(d);
+  // 2^(width-1): the first double beyond T's positive range ((double)tmax
+  // would round UP to this for int64 and mis-compare).
+  if (cl >= std::ldexp(1.0, sizeof(T) * 8 - 1)) return std::nullopt;
+  return static_cast<T>(cl);
+}
+
+/// Largest key of integer type T that is < the scalar bound \p hi (exact
+/// for both carriers; a bound above T's range — including the double NaN
+/// key — degrades to max(T), the closed-bound upgrade); nullopt when the
+/// bound sits at or below all of T.
+template <typename T>
+std::optional<T> IntLastBelow(KeyScalar hi) {
+  constexpr T tmin = std::numeric_limits<T>::min();
+  constexpr T tmax = std::numeric_limits<T>::max();
+  if (!hi.is_f64()) {
+    if (hi.i > static_cast<int64_t>(tmax)) return tmax;
+    if (hi.i <= static_cast<int64_t>(tmin)) return std::nullopt;
+    return static_cast<T>(hi.i - 1);
+  }
+  const double d = hi.d;
+  if (std::isnan(d) || d >= std::ldexp(1.0, sizeof(T) * 8 - 1)) {
+    return tmax;  // every key of T lies below the bound
+  }
+  if (d <= static_cast<double>(tmin)) return std::nullopt;
+  const double fl = std::floor(d);
+  const T f = static_cast<T>(fl);  // fl in [tmin, 2^(w-1)) -> exact cast
+  if (fl == d) {
+    // Integral exclusive high: the largest admissible key is d - 1,
+    // computed in T (a double subtraction would round back up once the
+    // ulp exceeds 1).
+    if (f == tmin) return std::nullopt;
+    return static_cast<T>(f - 1);
+  }
+  return f;
+}
+
+/// One scalar bound as an exact double key: int64 carriers go through
+/// DoubleAtLeast — correct for BOTH ends of a half-open range, since no
+/// double lies strictly between an int64's real value and its
+/// DoubleAtLeast image — f64 carriers are canonicalized.
+double DoubleBound(KeyScalar s) {
+  return s.is_f64() ? KeyTraits<double>::Canonical(s.d) : DoubleAtLeast(s.i);
+}
+
+/// Clamps a KeyScalar bound pair into column type T's domain. Each bound
+/// converts independently with exact semantics (mixed carriers included),
+/// and an exclusive high that cannot be expressed inside T — above max(T),
+/// or the double NaN key — degrades to the closed form.
+template <typename T>
+Bounds<T> ClampBounds(KeyScalar lo, KeyScalar hi) {
+  if constexpr (std::is_same_v<T, double>) {
+    using KT = KeyTraits<double>;
+    const double lo_d = DoubleBound(lo);
+    const double hi_d = DoubleBound(hi);
+    if (KT::IsHighest(hi_d)) {
+      // Exclusive high at the order's top: degrade to the closed tail,
+      // mirroring the integer facade at max(T). [NaN, NaN] therefore
+      // selects exactly the rows holding the NaN key.
+      return {KT::IsHighest(lo_d) ? KT::Highest() : lo_d, KT::Highest(),
+              false, true};
+    }
+    if (!KT::Less(lo_d, hi_d)) return {0.0, 0.0, true, false};
+    return {lo_d, hi_d, false, false};
   } else {
-    constexpr int64_t tmin = std::numeric_limits<T>::min();
-    constexpr int64_t tmax = std::numeric_limits<T>::max();
-    if (hi <= tmin || lo > tmax) return {T{}, T{}, true, false};
-    const T l = static_cast<T>(std::max<int64_t>(lo, tmin));
-    if (hi > tmax) return {l, static_cast<T>(tmax), false, true};
-    const T h = static_cast<T>(hi);
-    return {l, h, l >= h, false};
+    const std::optional<T> lo_t = IntFirstAtLeast<T>(lo);
+    const std::optional<T> hi_t = IntLastBelow<T>(hi);
+    if (!lo_t || !hi_t || *lo_t > *hi_t) return {T{}, T{}, true, false};
+    // Integer clamps always use the closed form [lo_t, hi_t]; away from
+    // max(T) the select machinery turns it straight back into the
+    // identical half-open [lo_t, hi_t + 1).
+    return {*lo_t, *hi_t, false, true};
   }
 }
 
+/// Converts an update value into column type T. Integer columns accept an
+/// int64 carrier in domain, or a double carrier that is integral and in
+/// domain; double columns accept anything (canonicalized — any NaN becomes
+/// the NaN key, -0.0 becomes +0.0). \return false when unrepresentable.
 template <typename T>
-bool InDomain(int64_t v) {
-  if constexpr (std::is_same_v<T, int64_t>) {
-    (void)v;
+bool KeyFromScalar(KeyScalar v, T* out) {
+  if constexpr (std::is_same_v<T, double>) {
+    *out = KeyTraits<double>::Canonical(v.AsF64());
     return true;
   } else {
-    return v >= std::numeric_limits<T>::min() &&
-           v <= std::numeric_limits<T>::max();
+    if (v.is_f64()) {
+      const double d = v.d;
+      if (std::isnan(d) || std::floor(d) != d) return false;
+      if (d < static_cast<double>(std::numeric_limits<T>::min()) ||
+          d >= std::ldexp(1.0, sizeof(T) * 8 - 1)) {
+        return false;
+      }
+      *out = static_cast<T>(d);
+      return true;
+    }
+    if (v.i < std::numeric_limits<T>::min() ||
+        v.i > std::numeric_limits<T>::max()) {
+      return false;
+    }
+    *out = static_cast<T>(v.i);
+    return true;
+  }
+}
+
+/// Wraps a typed sum into the scalar carrier matching the column type.
+template <typename T>
+KeyScalar WrapSum(typename KeyTraits<T>::Sum s) {
+  if constexpr (std::is_same_v<typename KeyTraits<T>::Sum, double>) {
+    return KeyScalar::F64(s);
+  } else {
+    return KeyScalar::I64(s);
   }
 }
 
@@ -84,18 +203,20 @@ class ExecutorBase : public QueryExecutor {
 
   /// Default late reconstruction: materialize rowids via the mode's select,
   /// then project positionally through the base column.
-  int64_t ProjectSum(const ColumnHandle& where_column,
-                     const ColumnHandle& project_column, int64_t low,
-                     int64_t high, const QueryContext& qctx) override {
+  KeyScalar ProjectSum(const ColumnHandle& where_column,
+                       const ColumnHandle& project_column, KeyScalar low,
+                       KeyScalar high, const QueryContext& qctx) override {
     ColumnEntry& pe = Entry(project_column);
     CheckSameTable(Entry(where_column), pe);
     const PositionList rows = SelectRowIds(where_column, low, high, qctx);
-    return DispatchIndexableType(pe.type(), [&](auto tag) -> int64_t {
+    return DispatchIndexableType(pe.type(), [&](auto tag) -> KeyScalar {
       using P = typename decltype(tag)::type;
       const Column<P>& proj = *pe.runtime<P>().base;
-      int64_t sum = 0;
-      for (RowId rid : rows) sum += static_cast<int64_t>(proj[rid]);
-      return sum;
+      typename KeyTraits<P>::Sum sum = 0;
+      for (RowId rid : rows) {
+        sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
+      }
+      return WrapSum<P>(sum);
     });
   }
 
@@ -141,11 +262,12 @@ class ExecutorBase : public QueryExecutor {
   }
 
   template <typename T>
-  int64_t SortedSum(const SortedIndex<T>& sorted, const Bounds<T>& b) const {
+  typename KeyTraits<T>::Sum SortedSum(const SortedIndex<T>& sorted,
+                                       const Bounds<T>& b) const {
     const PositionRange r = SortedSelect(sorted, b);
-    int64_t sum = 0;
+    typename KeyTraits<T>::Sum sum = 0;
     for (size_t i = r.begin; i < r.end; ++i) {
-      sum += static_cast<int64_t>(sorted.ValueAt(i));
+      sum += static_cast<typename KeyTraits<T>::Sum>(sorted.ValueAt(i));
     }
     return sum;
   }
@@ -159,15 +281,17 @@ class ExecutorBase : public QueryExecutor {
   }
 
   template <typename T>
-  int64_t ScanSum(ColumnEntry& e, const Bounds<T>& b) const {
+  typename KeyTraits<T>::Sum ScanSum(ColumnEntry& e,
+                                     const Bounds<T>& b) const {
     const Column<T>& base = *e.runtime<T>().base;
     const T* data = base.data();
-    int64_t sum = 0;
+    typename KeyTraits<T>::Sum sum = 0;
     for (size_t i = 0; i < base.size(); ++i) {
-      if (data[i] >= b.lo &&
-          (b.closed_high ? data[i] <= b.hi : data[i] < b.hi)) {
-        sum += static_cast<int64_t>(data[i]);
-      }
+      const bool hit =
+          !KeyTraits<T>::Less(data[i], b.lo) &&
+          (b.closed_high ? !KeyTraits<T>::Less(b.hi, data[i])
+                         : KeyTraits<T>::Less(data[i], b.hi));
+      if (hit) sum += static_cast<typename KeyTraits<T>::Sum>(data[i]);
     }
     return sum;
   }
@@ -201,32 +325,32 @@ class ScanExecutor : public ExecutorBase {
  public:
   using ExecutorBase::ExecutorBase;
 
-  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+  size_t CountRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                     const QueryContext&) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       return b.empty ? 0 : ScanCount<T>(e, b);
     });
   }
 
-  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
-                   const QueryContext&) override {
+  KeyScalar SumRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
+                     const QueryContext&) override {
     ColumnEntry& e = Entry(h);
-    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> KeyScalar {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
-      return b.empty ? 0 : ScanSum<T>(e, b);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      return WrapSum<T>(b.empty ? 0 : ScanSum<T>(e, b));
     });
   }
 
-  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+  PositionList SelectRowIds(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                             const QueryContext&) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       return b.empty ? PositionList{} : ScanSelect<T>(e, b);
     });
   }
@@ -245,35 +369,35 @@ class OfflineExecutor : public ExecutorBase {
     SortAllColumns();
   }
 
-  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+  size_t CountRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                     const QueryContext&) override {
     EnsurePrepared();
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       return b.empty ? 0 : SortedSelect(*EnsureSorted<T>(e), b).size();
     });
   }
 
-  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
-                   const QueryContext&) override {
+  KeyScalar SumRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
+                     const QueryContext&) override {
     EnsurePrepared();
     ColumnEntry& e = Entry(h);
-    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> KeyScalar {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
-      return b.empty ? 0 : SortedSum<T>(*EnsureSorted<T>(e), b);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      return WrapSum<T>(b.empty ? 0 : SortedSum<T>(*EnsureSorted<T>(e), b));
     });
   }
 
-  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+  PositionList SelectRowIds(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                             const QueryContext&) override {
     EnsurePrepared();
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       if (b.empty) return {};
       auto sorted = EnsureSorted<T>(e);
       return sorted->FetchRowIds(SortedSelect(*sorted, b));
@@ -296,14 +420,14 @@ class OnlineExecutor : public ExecutorBase {
  public:
   using ExecutorBase::ExecutorBase;
 
-  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+  size_t CountRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                     const QueryContext&) override {
     ColumnEntry& e = Entry(h);
     const uint64_t query_no =
         queries_observed_.fetch_add(1, std::memory_order_relaxed);
     return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       if (b.empty) return 0;
       if (query_no < ctx_.options->online_observation_window) {
         return ScanCount<T>(e, b);
@@ -312,29 +436,29 @@ class OnlineExecutor : public ExecutorBase {
     });
   }
 
-  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
-                   const QueryContext&) override {
+  KeyScalar SumRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
+                     const QueryContext&) override {
     ColumnEntry& e = Entry(h);
-    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> KeyScalar {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
-      if (b.empty) return 0;
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      if (b.empty) return WrapSum<T>(0);
       // Reuse a sorted index if the observation window already closed;
       // never build one just for a sum.
       if (auto sorted =
               e.runtime<T>().sorted.load(std::memory_order_acquire)) {
-        return SortedSum<T>(*sorted, b);
+        return WrapSum<T>(SortedSum<T>(*sorted, b));
       }
-      return ScanSum<T>(e, b);
+      return WrapSum<T>(ScanSum<T>(e, b));
     });
   }
 
-  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+  PositionList SelectRowIds(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                             const QueryContext&) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       return b.empty ? PositionList{} : ScanSelect<T>(e, b);
     });
   }
@@ -352,36 +476,36 @@ class CrackingExecutor : public ExecutorBase {
  public:
   using ExecutorBase::ExecutorBase;
 
-  size_t CountRange(const ColumnHandle& h, int64_t lo, int64_t hi,
+  size_t CountRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                     const QueryContext& qctx) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       if (b.empty) return 0;
       return Select<T>(e, b, qctx, nullptr).size();
     });
   }
 
-  int64_t SumRange(const ColumnHandle& h, int64_t lo, int64_t hi,
-                   const QueryContext& qctx) override {
+  KeyScalar SumRange(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
+                     const QueryContext& qctx) override {
     ColumnEntry& e = Entry(h);
-    return DispatchIndexableType(e.type(), [&](auto tag) -> int64_t {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> KeyScalar {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
-      if (b.empty) return 0;
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      if (b.empty) return WrapSum<T>(0);
       std::shared_ptr<CrackerColumn<T>> cracker;
       const PositionRange r = Select<T>(e, b, qctx, &cracker);
-      return cracker->SumRange(r);
+      return WrapSum<T>(cracker->SumRange(r));
     });
   }
 
-  PositionList SelectRowIds(const ColumnHandle& h, int64_t lo, int64_t hi,
+  PositionList SelectRowIds(const ColumnHandle& h, KeyScalar lo, KeyScalar hi,
                             const QueryContext& qctx) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> PositionList {
       using T = typename decltype(tag)::type;
-      const auto b = ClampBounds<T>(lo, hi);
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
       if (b.empty) return {};
       std::shared_ptr<CrackerColumn<T>> cracker;
       const PositionRange r = Select<T>(e, b, qctx, &cracker);
@@ -392,68 +516,70 @@ class CrackingExecutor : public ExecutorBase {
   /// Cracked late reconstruction: the project operator reads rowids
   /// straight out of the cracker column under piece read latches, without
   /// materializing a position list.
-  int64_t ProjectSum(const ColumnHandle& where_column,
-                     const ColumnHandle& project_column, int64_t low,
-                     int64_t high, const QueryContext& qctx) override {
+  KeyScalar ProjectSum(const ColumnHandle& where_column,
+                       const ColumnHandle& project_column, KeyScalar low,
+                       KeyScalar high, const QueryContext& qctx) override {
     ColumnEntry& we = Entry(where_column);
     ColumnEntry& pe = Entry(project_column);
     CheckSameTable(we, pe);
-    return DispatchIndexableType(we.type(), [&](auto wtag) -> int64_t {
+    return DispatchIndexableType(we.type(), [&](auto wtag) -> KeyScalar {
       using W = typename decltype(wtag)::type;
-      const auto b = ClampBounds<W>(low, high);
-      if (b.empty) return 0;
-      std::shared_ptr<CrackerColumn<W>> cracker;
-      const PositionRange r = Select<W>(we, b, qctx, &cracker);
-      return DispatchIndexableType(pe.type(), [&](auto ptag) -> int64_t {
+      const Bounds<W> b = ClampBounds<W>(low, high);
+      return DispatchIndexableType(pe.type(), [&](auto ptag) -> KeyScalar {
         using P = typename decltype(ptag)::type;
+        if (b.empty) return WrapSum<P>(0);
+        std::shared_ptr<CrackerColumn<W>> cracker;
+        const PositionRange r = Select<W>(we, b, qctx, &cracker);
         const Column<P>& proj = *pe.runtime<P>().base;
-        int64_t sum = 0;
+        typename KeyTraits<P>::Sum sum = 0;
         cracker->ScanRange(r, [&](W, RowId rid) {
-          sum += static_cast<int64_t>(proj[rid]);
+          sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
         });
-        return sum;
+        return WrapSum<P>(sum);
       });
     });
   }
 
-  RowId Insert(const ColumnHandle& h, int64_t value,
+  RowId Insert(const ColumnHandle& h, KeyScalar value,
                const QueryContext& qctx) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> RowId {
       using T = typename decltype(tag)::type;
-      if (!InDomain<T>(value)) {
+      T v{};
+      if (!KeyFromScalar<T>(value, &v)) {
         throw std::out_of_range("insert value out of column domain: " +
                                 e.key());
       }
       auto cracker = EnsureCracker<T>(e, qctx);
       const RowId rid =
           ctx_.next_rowid->fetch_add(1, std::memory_order_relaxed);
-      cracker->pending().AddInsert(static_cast<T>(value), rid);
+      cracker->pending().AddInsert(v, rid);
       return rid;
     });
   }
 
-  bool Delete(const ColumnHandle& h, int64_t value,
+  bool Delete(const ColumnHandle& h, KeyScalar value,
               const QueryContext& qctx) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> bool {
       using T = typename decltype(tag)::type;
-      if (!InDomain<T>(value)) return false;
-      const T v = static_cast<T>(value);
+      T v{};
+      if (!KeyFromScalar<T>(value, &v)) return false;
       auto cracker = EnsureCracker<T>(e, qctx);
       const CrackConfig cfg = QueryCrackConfig(qctx);
       // Resolve the rowid of one matching row: select the closed unit range
       // [v, v] (this is itself an index-refining access; the closed form
-      // keeps v == max(T) deletable) and take the first qualifying rowid. A
-      // concurrent Ripple merge (holistic worker) may shift positions
-      // between the select and the read, so verify and retry.
+      // keeps the type's maximum key deletable) and take the first
+      // qualifying rowid. A concurrent Ripple merge (holistic worker) may
+      // shift positions between the select and the read, so verify and
+      // retry.
       for (int attempt = 0; attempt < 8; ++attempt) {
         const PositionRange r = cracker->SelectRangeClosed(v, v, cfg);
         if (r.empty()) return false;
         bool found = false;
         RowId rid = 0;
         cracker->ScanRange({r.begin, r.begin + 1}, [&](T val, RowId rr) {
-          if (val == v) {
+          if (KeyTraits<T>::Eq(val, v)) {
             rid = rr;
             found = true;
           }
@@ -659,12 +785,12 @@ class HolisticExecutor : public CrackingExecutor {
 
 }  // namespace
 
-RowId QueryExecutor::Insert(const ColumnHandle&, int64_t,
+RowId QueryExecutor::Insert(const ColumnHandle&, KeyScalar,
                             const QueryContext&) {
   throw std::logic_error("updates require a cracking mode");
 }
 
-bool QueryExecutor::Delete(const ColumnHandle&, int64_t,
+bool QueryExecutor::Delete(const ColumnHandle&, KeyScalar,
                            const QueryContext&) {
   throw std::logic_error("updates require a cracking mode");
 }

@@ -7,7 +7,16 @@
 /// once and the executors never hash a string or take a global mutex on the
 /// query hot path. Executors are type-generic: they dispatch on the
 /// handle's element type and run the typed cracker / sorted-index / scan
-/// machinery (int32_t and int64_t today).
+/// machinery (int32_t, int64_t and double).
+///
+/// Bounds and values cross this interface as KeyScalar (a tagged
+/// int64-or-double), the same shape the wire protocol carries: the typed
+/// path clamps each scalar into the column's domain with exact semantics —
+/// an int64 bound against a double column goes through the "smallest
+/// double >= v" conversion, a double bound against an integer column
+/// through exact ceil/floor arithmetic, and an exclusive high at a type's
+/// total-order maximum degrades to the closed bound [lo, Highest] (which is
+/// what keeps rows holding max(T) — or the double NaN key — selectable).
 
 #pragma once
 
@@ -47,34 +56,38 @@ class QueryExecutor {
  public:
   virtual ~QueryExecutor() = default;
 
-  /// select count(*) where low <= column < high. Bounds are int64 at the
-  /// interface; narrower column types clamp them to the type's domain (an
-  /// exclusive upper bound beyond max(T) degrades to the closed bound
-  /// [low, max(T)], so rows holding exactly max(T) stay selectable).
-  virtual size_t CountRange(const ColumnHandle& column, int64_t low,
-                            int64_t high, const QueryContext& qctx) = 0;
+  /// select count(*) where low <= column < high (in the column type's
+  /// total order, after clamping the scalar bounds into its domain).
+  virtual size_t CountRange(const ColumnHandle& column, KeyScalar low,
+                            KeyScalar high, const QueryContext& qctx) = 0;
 
-  /// select sum(column) where low <= column < high.
-  virtual int64_t SumRange(const ColumnHandle& column, int64_t low,
-                           int64_t high, const QueryContext& qctx) = 0;
+  /// select sum(column) where low <= column < high. The result carrier
+  /// follows the column type: int64 for integer columns, double for double
+  /// columns (a sum over rows holding the NaN key is NaN).
+  virtual KeyScalar SumRange(const ColumnHandle& column, KeyScalar low,
+                             KeyScalar high, const QueryContext& qctx) = 0;
 
   /// Materializes qualifying rowids.
-  virtual PositionList SelectRowIds(const ColumnHandle& column, int64_t low,
-                                    int64_t high,
+  virtual PositionList SelectRowIds(const ColumnHandle& column, KeyScalar low,
+                                    KeyScalar high,
                                     const QueryContext& qctx) = 0;
 
   /// select sum(project) where low <= where < high (late reconstruction).
-  /// Both handles must belong to the same table.
-  virtual int64_t ProjectSum(const ColumnHandle& where_column,
-                             const ColumnHandle& project_column, int64_t low,
-                             int64_t high, const QueryContext& qctx) = 0;
+  /// Both handles must belong to the same table; the result carrier
+  /// follows the PROJECT column's type.
+  virtual KeyScalar ProjectSum(const ColumnHandle& where_column,
+                               const ColumnHandle& project_column,
+                               KeyScalar low, KeyScalar high,
+                               const QueryContext& qctx) = 0;
 
-  /// Pending-queue insert; cracking modes only (throws otherwise).
-  virtual RowId Insert(const ColumnHandle& column, int64_t value,
+  /// Pending-queue insert; cracking modes only (throws otherwise). A
+  /// double-carrier value against an integer column must be integral and
+  /// in-domain, or std::out_of_range is thrown.
+  virtual RowId Insert(const ColumnHandle& column, KeyScalar value,
                        const QueryContext& qctx);
 
   /// Pending-queue delete of one matching row; cracking modes only.
-  virtual bool Delete(const ColumnHandle& column, int64_t value,
+  virtual bool Delete(const ColumnHandle& column, KeyScalar value,
                       const QueryContext& qctx);
 
   /// Mode-specific up-front work (offline indexing sorts every column).

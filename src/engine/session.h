@@ -57,6 +57,33 @@ class Session {
   /// \return true when a matching row was found (see Database::Delete).
   bool Delete(const ColumnHandle& column, int64_t value);
 
+  // --- Typed-scalar forms (what the network server drives) ---------------
+
+  size_t CountRangeScalar(const ColumnHandle& column, KeyScalar low,
+                          KeyScalar high);
+  /// Result carrier follows the column type (double columns sum to f64).
+  KeyScalar SumRangeScalar(const ColumnHandle& column, KeyScalar low,
+                           KeyScalar high);
+  PositionList SelectRowIdsScalar(const ColumnHandle& column, KeyScalar low,
+                                  KeyScalar high);
+  KeyScalar ProjectSumScalar(const ColumnHandle& where_column,
+                             const ColumnHandle& project_column,
+                             KeyScalar low, KeyScalar high);
+  RowId InsertScalar(const ColumnHandle& column, KeyScalar value);
+  bool DeleteScalar(const ColumnHandle& column, KeyScalar value);
+
+  // --- Double forms (F64-suffixed; see Database) -------------------------
+
+  size_t CountRangeF64(const ColumnHandle& column, double low, double high);
+  double SumRangeF64(const ColumnHandle& column, double low, double high);
+  PositionList SelectRowIdsF64(const ColumnHandle& column, double low,
+                               double high);
+  double ProjectSumF64(const ColumnHandle& where_column,
+                       const ColumnHandle& project_column, double low,
+                       double high);
+  RowId InsertF64(const ColumnHandle& column, double value);
+  bool DeleteF64(const ColumnHandle& column, double value);
+
   // --- Name-based conveniences (resolve through the session cache) -------
 
   size_t CountRange(const std::string& table, const std::string& column,
@@ -74,6 +101,22 @@ class Session {
   bool Delete(const std::string& table, const std::string& column,
               int64_t value) {
     return Delete(Handle(table, column), value);
+  }
+  size_t CountRangeF64(const std::string& table, const std::string& column,
+                       double low, double high) {
+    return CountRangeF64(Handle(table, column), low, high);
+  }
+  double SumRangeF64(const std::string& table, const std::string& column,
+                     double low, double high) {
+    return SumRangeF64(Handle(table, column), low, high);
+  }
+  RowId InsertF64(const std::string& table, const std::string& column,
+                  double value) {
+    return InsertF64(Handle(table, column), value);
+  }
+  bool DeleteF64(const std::string& table, const std::string& column,
+                 double value) {
+    return DeleteF64(Handle(table, column), value);
   }
 
   // --- Asynchronous query API --------------------------------------------

@@ -30,6 +30,38 @@ void LoadUniformTable(Database& db, const std::string& table,
   }
 }
 
+void LoadUniformDoubleTable(Database& db, const std::string& table,
+                            size_t num_attrs, size_t rows, int64_t domain,
+                            uint64_t seed) {
+  const auto names = MakeAttributeNames(num_attrs);
+  for (size_t i = 0; i < num_attrs; ++i) {
+    db.LoadColumn<double>(
+        table, names[i], GenerateUniformDoubleColumn(rows, domain, seed + i));
+  }
+}
+
+RunResult RunWorkloadF64(Database& db, const std::string& table,
+                         const std::vector<std::string>& columns,
+                         const std::vector<RangeQuery>& queries) {
+  Session session = db.OpenSession();
+  std::vector<ColumnHandle> handles;
+  handles.reserve(columns.size());
+  for (const auto& column : columns) {
+    handles.push_back(session.Handle(table, column));
+  }
+  RunResult result;
+  result.result_checksum = 0;
+  for (const RangeQuery& q : queries) {
+    const double lo = static_cast<double>(q.low) + 0.5;
+    const double hi = static_cast<double>(q.high) + 0.5;
+    Timer t;
+    const size_t count = session.CountRangeF64(handles[q.attr], lo, hi);
+    result.series.Add(t.ElapsedSeconds());
+    result.result_checksum += count;
+  }
+  return result;
+}
+
 RunResult RunWorkload(Database& db, const std::string& table,
                       const std::vector<std::string>& columns,
                       const std::vector<RangeQuery>& queries) {

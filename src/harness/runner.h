@@ -23,6 +23,12 @@ void LoadUniformTable(Database& db, const std::string& table,
                       size_t num_attrs, size_t rows, int64_t domain,
                       uint64_t seed);
 
+/// Double-keyed variant of LoadUniformTable: genuine double columns
+/// (integer grid + fractional offsets) over the same [0, domain) span.
+void LoadUniformDoubleTable(Database& db, const std::string& table,
+                            size_t num_attrs, size_t rows, int64_t domain,
+                            uint64_t seed);
+
 /// Result of replaying a workload.
 struct RunResult {
   ResponseSeries series;     ///< Per-query latencies, in order.
@@ -34,6 +40,14 @@ struct RunResult {
 RunResult RunWorkload(Database& db, const std::string& table,
                       const std::vector<std::string>& columns,
                       const std::vector<RangeQuery>& queries);
+
+/// Replays \p queries through the double-bound facade (CountRangeF64):
+/// each integer predicate becomes [low + 0.5, high + 0.5) so the bounds
+/// are genuinely fractional, identically across modes — checksums stay
+/// comparable to a scan oracle run over the same data and workload.
+RunResult RunWorkloadF64(Database& db, const std::string& table,
+                         const std::vector<std::string>& columns,
+                         const std::vector<RangeQuery>& queries);
 
 /// Result of a concurrent (multi-client) replay.
 struct ConcurrentRunResult {

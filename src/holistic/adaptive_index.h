@@ -56,14 +56,20 @@ class AdaptiveIndex {
     return RefineAtRandomPivot(rng, cfg);
   }
 
-  /// Distance from the optimal index per Equation (1):
-  /// d(I, I_opt) = N_A / p_A - |L1| elements, clamped at zero.
+  /// Distance from the optimal index per Equation (1), accounted in BYTES:
+  /// d(I, I_opt) = (N_A / p_A) * |T| - |L1| bytes, clamped at zero. The
+  /// optimality crossing (average piece fits in L1) is identical to the
+  /// element-count form, but byte accounting makes distances comparable
+  /// across key widths — an int32 index and a double index at the same
+  /// piece byte-size now weigh the same to the W1-W3 strategies, where
+  /// element counts would overweight the narrow type 2:1.
   double DistanceToOptimal() const {
     if (NumRows() == 0) return 0.0;
-    const double avg_piece =
-        static_cast<double>(NumRows()) / static_cast<double>(NumPieces());
-    const double l1_elems = static_cast<double>(L1Elements(ElementSize()));
-    const double d = avg_piece - l1_elems;
+    const double avg_piece_bytes =
+        static_cast<double>(NumRows()) / static_cast<double>(NumPieces()) *
+        static_cast<double>(ElementSize());
+    const double d =
+        avg_piece_bytes - static_cast<double>(L1DataCacheBytes());
     return d > 0 ? d : 0.0;
   }
 
@@ -90,10 +96,11 @@ class CrackerAdaptiveIndex : public AdaptiveIndex {
   bool RefineAtRandomPivot(Rng& rng, const CrackConfig& cfg) override {
     const T lo = column_->MinValue();
     const T hi = column_->MaxValue();
-    if (lo >= hi) return false;
+    if (!KeyTraits<T>::Less(lo, hi)) return false;
     // Sample in the column's native type: a detour through int64_t would
     // overflow for domains spanning most of T (e.g. int64 keys near the
-    // extremes) and silently bias the pivot distribution.
+    // extremes) and silently bias the pivot distribution; double domains
+    // sample in value space with a rank-space fallback (see rng.h).
     const T pivot = SamplePivotBetween<T>(rng, lo, hi);
     return column_->TryRefineAt(pivot, cfg);
   }

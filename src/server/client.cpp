@@ -165,22 +165,25 @@ void HolixClient::CloseSession(uint64_t session_id) {
   (void)Expect<CloseSessionAck>(AwaitFrame(id));
 }
 
-uint64_t HolixClient::CountRange(uint64_t session_id, const std::string& table,
-                                 const std::string& column, int64_t low,
-                                 int64_t high) {
+uint64_t HolixClient::CountRangeScalar(uint64_t session_id,
+                                       const std::string& table,
+                                       const std::string& column,
+                                       KeyScalar low, KeyScalar high) {
   return AwaitCount(SendCountRange(session_id, table, column, low, high));
 }
 
-int64_t HolixClient::SumRange(uint64_t session_id, const std::string& table,
-                              const std::string& column, int64_t low,
-                              int64_t high) {
-  return AwaitSum(SendSumRange(session_id, table, column, low, high));
+KeyScalar HolixClient::SumRangeScalar(uint64_t session_id,
+                                      const std::string& table,
+                                      const std::string& column,
+                                      KeyScalar low, KeyScalar high) {
+  return AwaitSumScalar(SendSumRange(session_id, table, column, low, high));
 }
 
-int64_t HolixClient::ProjectSum(uint64_t session_id, const std::string& table,
-                                const std::string& where_column,
-                                const std::string& project_column,
-                                int64_t low, int64_t high) {
+KeyScalar HolixClient::ProjectSumScalar(uint64_t session_id,
+                                        const std::string& table,
+                                        const std::string& where_column,
+                                        const std::string& project_column,
+                                        KeyScalar low, KeyScalar high) {
   ProjectSumReq req;
   req.session_id = session_id;
   req.table = table;
@@ -192,10 +195,9 @@ int64_t HolixClient::ProjectSum(uint64_t session_id, const std::string& table,
   return Expect<ProjectSumResult>(AwaitFrame(id)).sum;
 }
 
-std::vector<uint64_t> HolixClient::SelectRowIds(uint64_t session_id,
-                                                const std::string& table,
-                                                const std::string& column,
-                                                int64_t low, int64_t high) {
+std::vector<uint64_t> HolixClient::SelectRowIdsScalar(
+    uint64_t session_id, const std::string& table, const std::string& column,
+    KeyScalar low, KeyScalar high) {
   SelectRowIdsReq req;
   req.session_id = session_id;
   req.table = table;
@@ -206,8 +208,10 @@ std::vector<uint64_t> HolixClient::SelectRowIds(uint64_t session_id,
   return Expect<RowIdsResult>(AwaitFrame(id)).rowids;
 }
 
-uint64_t HolixClient::Insert(uint64_t session_id, const std::string& table,
-                             const std::string& column, int64_t value) {
+uint64_t HolixClient::InsertScalar(uint64_t session_id,
+                                   const std::string& table,
+                                   const std::string& column,
+                                   KeyScalar value) {
   InsertReq req;
   req.session_id = session_id;
   req.table = table;
@@ -217,8 +221,8 @@ uint64_t HolixClient::Insert(uint64_t session_id, const std::string& table,
   return Expect<InsertResult>(AwaitFrame(id)).rowid;
 }
 
-bool HolixClient::Delete(uint64_t session_id, const std::string& table,
-                         const std::string& column, int64_t value) {
+bool HolixClient::DeleteScalar(uint64_t session_id, const std::string& table,
+                               const std::string& column, KeyScalar value) {
   DeleteReq req;
   req.session_id = session_id;
   req.table = table;
@@ -228,10 +232,78 @@ bool HolixClient::Delete(uint64_t session_id, const std::string& table,
   return Expect<DeleteResult>(AwaitFrame(id)).found;
 }
 
+uint64_t HolixClient::CountRange(uint64_t session_id, const std::string& table,
+                                 const std::string& column, int64_t low,
+                                 int64_t high) {
+  return CountRangeScalar(session_id, table, column, KeyScalar::I64(low),
+                          KeyScalar::I64(high));
+}
+
+int64_t HolixClient::SumRange(uint64_t session_id, const std::string& table,
+                              const std::string& column, int64_t low,
+                              int64_t high) {
+  return SumRangeScalar(session_id, table, column, KeyScalar::I64(low),
+                        KeyScalar::I64(high))
+      .AsI64Saturating();
+}
+
+int64_t HolixClient::ProjectSum(uint64_t session_id, const std::string& table,
+                                const std::string& where_column,
+                                const std::string& project_column,
+                                int64_t low, int64_t high) {
+  return ProjectSumScalar(session_id, table, where_column, project_column,
+                          KeyScalar::I64(low), KeyScalar::I64(high))
+      .AsI64Saturating();
+}
+
+std::vector<uint64_t> HolixClient::SelectRowIds(uint64_t session_id,
+                                                const std::string& table,
+                                                const std::string& column,
+                                                int64_t low, int64_t high) {
+  return SelectRowIdsScalar(session_id, table, column, KeyScalar::I64(low),
+                            KeyScalar::I64(high));
+}
+
+uint64_t HolixClient::Insert(uint64_t session_id, const std::string& table,
+                             const std::string& column, int64_t value) {
+  return InsertScalar(session_id, table, column, KeyScalar::I64(value));
+}
+
+bool HolixClient::Delete(uint64_t session_id, const std::string& table,
+                         const std::string& column, int64_t value) {
+  return DeleteScalar(session_id, table, column, KeyScalar::I64(value));
+}
+
+uint64_t HolixClient::CountRangeF64(uint64_t session_id,
+                                    const std::string& table,
+                                    const std::string& column, double low,
+                                    double high) {
+  return CountRangeScalar(session_id, table, column, KeyScalar::F64(low),
+                          KeyScalar::F64(high));
+}
+
+double HolixClient::SumRangeF64(uint64_t session_id, const std::string& table,
+                                const std::string& column, double low,
+                                double high) {
+  return SumRangeScalar(session_id, table, column, KeyScalar::F64(low),
+                        KeyScalar::F64(high))
+      .AsF64();
+}
+
+uint64_t HolixClient::InsertF64(uint64_t session_id, const std::string& table,
+                                const std::string& column, double value) {
+  return InsertScalar(session_id, table, column, KeyScalar::F64(value));
+}
+
+bool HolixClient::DeleteF64(uint64_t session_id, const std::string& table,
+                            const std::string& column, double value) {
+  return DeleteScalar(session_id, table, column, KeyScalar::F64(value));
+}
+
 uint64_t HolixClient::SendCountRange(uint64_t session_id,
                                      const std::string& table,
-                                     const std::string& column, int64_t low,
-                                     int64_t high) {
+                                     const std::string& column, KeyScalar low,
+                                     KeyScalar high) {
   CountRangeReq req;
   req.session_id = session_id;
   req.table = table;
@@ -247,8 +319,8 @@ uint64_t HolixClient::AwaitCount(uint64_t request_id) {
 
 uint64_t HolixClient::SendSumRange(uint64_t session_id,
                                    const std::string& table,
-                                   const std::string& column, int64_t low,
-                                   int64_t high) {
+                                   const std::string& column, KeyScalar low,
+                                   KeyScalar high) {
   SumRangeReq req;
   req.session_id = session_id;
   req.table = table;
@@ -259,6 +331,10 @@ uint64_t HolixClient::SendSumRange(uint64_t session_id,
 }
 
 int64_t HolixClient::AwaitSum(uint64_t request_id) {
+  return AwaitSumScalar(request_id).AsI64Saturating();
+}
+
+KeyScalar HolixClient::AwaitSumScalar(uint64_t request_id) {
   return Expect<SumResult>(AwaitFrame(request_id)).sum;
 }
 

@@ -47,6 +47,29 @@ class HolixClient {
 
   // --- Synchronous query API --------------------------------------------
 
+  /// Typed-scalar core: bounds/values travel as tagged scalars, and sum
+  /// results come back in the carrier matching the column's type.
+  uint64_t CountRangeScalar(uint64_t session_id, const std::string& table,
+                            const std::string& column, KeyScalar low,
+                            KeyScalar high);
+  KeyScalar SumRangeScalar(uint64_t session_id, const std::string& table,
+                           const std::string& column, KeyScalar low,
+                           KeyScalar high);
+  KeyScalar ProjectSumScalar(uint64_t session_id, const std::string& table,
+                             const std::string& where_column,
+                             const std::string& project_column, KeyScalar low,
+                             KeyScalar high);
+  std::vector<uint64_t> SelectRowIdsScalar(uint64_t session_id,
+                                           const std::string& table,
+                                           const std::string& column,
+                                           KeyScalar low, KeyScalar high);
+  uint64_t InsertScalar(uint64_t session_id, const std::string& table,
+                        const std::string& column, KeyScalar value);
+  bool DeleteScalar(uint64_t session_id, const std::string& table,
+                    const std::string& column, KeyScalar value);
+
+  /// int64 conveniences (a double column's f64 sum is rounded+saturated —
+  /// use SumRangeF64/SumRangeScalar for the exact value).
   uint64_t CountRange(uint64_t session_id, const std::string& table,
                       const std::string& column, int64_t low, int64_t high);
   int64_t SumRange(uint64_t session_id, const std::string& table,
@@ -64,6 +87,16 @@ class HolixClient {
   bool Delete(uint64_t session_id, const std::string& table,
               const std::string& column, int64_t value);
 
+  /// Double conveniences (F64-suffixed, mirroring the in-process Session).
+  uint64_t CountRangeF64(uint64_t session_id, const std::string& table,
+                         const std::string& column, double low, double high);
+  double SumRangeF64(uint64_t session_id, const std::string& table,
+                     const std::string& column, double low, double high);
+  uint64_t InsertF64(uint64_t session_id, const std::string& table,
+                     const std::string& column, double value);
+  bool DeleteF64(uint64_t session_id, const std::string& table,
+                 const std::string& column, double value);
+
   // --- Pipelined query API ----------------------------------------------
   //
   // Send* writes the request and returns immediately with its request id;
@@ -74,13 +107,16 @@ class HolixClient {
   // the stream anyway.
 
   uint64_t SendCountRange(uint64_t session_id, const std::string& table,
-                          const std::string& column, int64_t low,
-                          int64_t high);
+                          const std::string& column, KeyScalar low,
+                          KeyScalar high);
   uint64_t AwaitCount(uint64_t request_id);
 
   uint64_t SendSumRange(uint64_t session_id, const std::string& table,
-                        const std::string& column, int64_t low, int64_t high);
+                        const std::string& column, KeyScalar low,
+                        KeyScalar high);
   int64_t AwaitSum(uint64_t request_id);
+  /// The typed form of AwaitSum (f64 carrier for double columns).
+  KeyScalar AwaitSumScalar(uint64_t request_id);
 
   /// Responses read but not yet awaited.
   size_t StashedResponses() const { return stash_.size(); }

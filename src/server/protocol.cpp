@@ -24,6 +24,35 @@ bool WireReader::Str(std::string* out) {
   return true;
 }
 
+void WireWriter::Scalar(const KeyScalar& s) {
+  if (s.is_f64()) {
+    U8(1);
+    F64(s.d);
+  } else {
+    U8(0);
+    I64(s.i);
+  }
+}
+
+bool WireReader::Scalar(KeyScalar* out) {
+  uint8_t kind = 0;
+  if (!U8(&kind)) return false;
+  if (kind > 1) {
+    ok_ = false;
+    return false;
+  }
+  if (kind == 1) {
+    double d = 0;
+    if (!F64(&d)) return false;
+    *out = KeyScalar::F64(d);
+  } else {
+    int64_t i = 0;
+    if (!I64(&i)) return false;
+    *out = KeyScalar::I64(i);
+  }
+  return true;
+}
+
 // --- message bodies --------------------------------------------------------
 
 void Hello::Encode(WireWriter& w) const {
@@ -45,12 +74,12 @@ void RangeReqBody::Encode(WireWriter& w) const {
   w.U64(session_id);
   w.Str(table);
   w.Str(column);
-  w.I64(low);
-  w.I64(high);
+  w.Scalar(low);
+  w.Scalar(high);
 }
 bool RangeReqBody::Decode(WireReader& r) {
   return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
-         r.I64(&low) && r.I64(&high);
+         r.Scalar(&low) && r.Scalar(&high);
 }
 
 void ProjectSumReq::Encode(WireWriter& w) const {
@@ -58,22 +87,22 @@ void ProjectSumReq::Encode(WireWriter& w) const {
   w.Str(table);
   w.Str(where_column);
   w.Str(project_column);
-  w.I64(low);
-  w.I64(high);
+  w.Scalar(low);
+  w.Scalar(high);
 }
 bool ProjectSumReq::Decode(WireReader& r) {
   return r.U64(&session_id) && r.Str(&table) && r.Str(&where_column) &&
-         r.Str(&project_column) && r.I64(&low) && r.I64(&high);
+         r.Str(&project_column) && r.Scalar(&low) && r.Scalar(&high);
 }
 
 void CountResult::Encode(WireWriter& w) const { w.U64(count); }
 bool CountResult::Decode(WireReader& r) { return r.U64(&count); }
 
-void SumResult::Encode(WireWriter& w) const { w.I64(sum); }
-bool SumResult::Decode(WireReader& r) { return r.I64(&sum); }
+void SumResult::Encode(WireWriter& w) const { w.Scalar(sum); }
+bool SumResult::Decode(WireReader& r) { return r.Scalar(&sum); }
 
-void ProjectSumResult::Encode(WireWriter& w) const { w.I64(sum); }
-bool ProjectSumResult::Decode(WireReader& r) { return r.I64(&sum); }
+void ProjectSumResult::Encode(WireWriter& w) const { w.Scalar(sum); }
+bool ProjectSumResult::Decode(WireReader& r) { return r.Scalar(&sum); }
 
 void RowIdsResult::Encode(WireWriter& w) const {
   w.U32(static_cast<uint32_t>(rowids.size()));
@@ -101,11 +130,11 @@ void InsertReq::Encode(WireWriter& w) const {
   w.U64(session_id);
   w.Str(table);
   w.Str(column);
-  w.I64(value);
+  w.Scalar(value);
 }
 bool InsertReq::Decode(WireReader& r) {
   return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
-         r.I64(&value);
+         r.Scalar(&value);
 }
 
 void InsertResult::Encode(WireWriter& w) const { w.U64(rowid); }
@@ -115,11 +144,11 @@ void DeleteReq::Encode(WireWriter& w) const {
   w.U64(session_id);
   w.Str(table);
   w.Str(column);
-  w.I64(value);
+  w.Scalar(value);
 }
 bool DeleteReq::Decode(WireReader& r) {
   return r.U64(&session_id) && r.Str(&table) && r.Str(&column) &&
-         r.I64(&value);
+         r.Scalar(&value);
 }
 
 void DeleteResult::Encode(WireWriter& w) const { w.U8(found ? 1 : 0); }

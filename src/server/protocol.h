@@ -17,6 +17,14 @@
 /// and bounded by kMaxStringBytes; a malformed or oversized frame can never
 /// cause the decoder to over-allocate (lengths are validated against hard
 /// caps and against the actual bytes available before any buffer grows).
+///
+/// Since version 2 every query bound, update value and sum result travels
+/// as a *typed scalar*: a u8 kind tag (0 = int64, 1 = double) followed by
+/// 8 payload bytes (two's-complement LE, or IEEE-754 bits LE). SumRange /
+/// ProjectSum over a double column therefore return genuine doubles over
+/// the wire, and clients can express double predicates (including the NaN
+/// key and the infinities) without loss. A kind tag above 1 rejects the
+/// frame.
 
 #pragma once
 
@@ -25,14 +33,20 @@
 #include <string>
 #include <vector>
 
+#include "storage/types.h"
+
 namespace holix::net {
+
+using holix::KeyScalar;
 
 /// Hello magic: the u32 value reads "HLXP" ('H'<<24|'L'<<16|'X'<<8|'P').
 /// Like every wire scalar it serializes little-endian, so a packet capture
 /// shows the bytes P X L H — peers compare the decoded u32, not the bytes.
 inline constexpr uint32_t kMagic = 0x484C5850;
 /// Protocol version spoken by this build. Bumped on any wire change.
-inline constexpr uint16_t kProtocolVersion = 1;
+/// v2: typed scalars (int64/double) in range bounds, update values and
+/// sum results.
+inline constexpr uint16_t kProtocolVersion = 2;
 /// Hard cap on one frame's payload (validated before allocation). Large
 /// enough for a 2M-rowid select result, small enough that a malformed
 /// length can never balloon memory.
@@ -97,6 +111,10 @@ class WireWriter {
   void U32(uint32_t v) { AppendLe(v); }
   void U64(uint64_t v) { AppendLe(v); }
   void I64(int64_t v) { AppendLe(static_cast<uint64_t>(v)); }
+  /// IEEE-754 bits, little-endian.
+  void F64(double v) { AppendLe(std::bit_cast<uint64_t>(v)); }
+  /// Typed scalar: u8 kind tag + 8 payload bytes.
+  void Scalar(const KeyScalar& s);
 
   /// u16 length prefix + raw bytes. Throws std::length_error beyond
   /// kMaxStringBytes (server-side callers validate earlier; this is the
@@ -132,6 +150,14 @@ class WireReader {
     std::memcpy(v, &u, sizeof(u));
     return true;
   }
+  bool F64(double* v) {
+    uint64_t u;
+    if (!ReadLe(&u)) return false;
+    *v = std::bit_cast<double>(u);
+    return true;
+  }
+  /// Reads a typed scalar; a kind tag above 1 poisons the reader.
+  bool Scalar(KeyScalar* out);
 
   /// Reads a u16-length-prefixed string; rejects lengths beyond
   /// kMaxStringBytes or beyond the remaining payload.
@@ -209,13 +235,15 @@ struct CloseSessionAck {
   bool Decode(WireReader&) { return true; }
 };
 
-/// Shared shape of the four single-attribute range requests.
+/// Shared shape of the four single-attribute range requests. Bounds are
+/// typed scalars: int64 carriers clamp exactly into any column's domain,
+/// double carriers express floating-point predicates.
 struct RangeReqBody {
   uint64_t session_id = 0;
   std::string table;
   std::string column;
-  int64_t low = 0;
-  int64_t high = 0;
+  KeyScalar low;
+  KeyScalar high;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };
@@ -238,8 +266,8 @@ struct ProjectSumReq {
   std::string table;
   std::string where_column;
   std::string project_column;
-  int64_t low = 0;
-  int64_t high = 0;
+  KeyScalar low;
+  KeyScalar high;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };
@@ -251,16 +279,18 @@ struct CountResult {
   bool Decode(WireReader& r);
 };
 
+/// The sum's carrier follows the summed column's type: int64 columns
+/// answer i64 scalars, double columns answer f64 scalars.
 struct SumResult {
   static constexpr MsgType kType = MsgType::kSumResult;
-  int64_t sum = 0;
+  KeyScalar sum;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };
 
 struct ProjectSumResult {
   static constexpr MsgType kType = MsgType::kProjectSumResult;
-  int64_t sum = 0;
+  KeyScalar sum;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };
@@ -279,7 +309,7 @@ struct InsertReq {
   uint64_t session_id = 0;
   std::string table;
   std::string column;
-  int64_t value = 0;
+  KeyScalar value;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };
@@ -296,7 +326,7 @@ struct DeleteReq {
   uint64_t session_id = 0;
   std::string table;
   std::string column;
-  int64_t value = 0;
+  KeyScalar value;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };

@@ -356,10 +356,10 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return DispatchQuery<CountRangeReq>(
           conn, f, [db, conn, id = f.request_id](Session& s, const CountRangeReq& r) {
             ColumnHandle h = s.Handle(r.table, r.column);
-            const int64_t low = r.low, high = r.high;
+            const KeyScalar low = r.low, high = r.high;
             return [db, conn, id, h, low, high] {
               CountResult res;
-              res.count = db->CountRange(h, low, high, QueryContext{});
+              res.count = db->CountRangeScalar(h, low, high, QueryContext{});
               Send(*conn, id, res);
             };
           });
@@ -367,10 +367,12 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return DispatchQuery<SumRangeReq>(
           conn, f, [db, conn, id = f.request_id](Session& s, const SumRangeReq& r) {
             ColumnHandle h = s.Handle(r.table, r.column);
-            const int64_t low = r.low, high = r.high;
+            const KeyScalar low = r.low, high = r.high;
             return [db, conn, id, h, low, high] {
               SumResult res;
-              res.sum = db->SumRange(h, low, high, QueryContext{});
+              // The carrier follows the column type: a double column's sum
+              // leaves the server as a genuine f64 scalar.
+              res.sum = db->SumRangeScalar(h, low, high, QueryContext{});
               Send(*conn, id, res);
             };
           });
@@ -379,10 +381,10 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
           conn, f,
           [db, conn, id = f.request_id](Session& s, const SelectRowIdsReq& r) {
             ColumnHandle h = s.Handle(r.table, r.column);
-            const int64_t low = r.low, high = r.high;
+            const KeyScalar low = r.low, high = r.high;
             return [db, conn, id, h, low, high] {
               const PositionList rows =
-                  db->SelectRowIds(h, low, high, QueryContext{});
+                  db->SelectRowIdsScalar(h, low, high, QueryContext{});
               RowIdsResult res;
               res.rowids.reserve(rows.size());
               for (RowId rid : rows) res.rowids.push_back(rid);
@@ -403,10 +405,11 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
           conn, f, [db, conn, id = f.request_id](Session& s, const ProjectSumReq& r) {
             ColumnHandle hw = s.Handle(r.table, r.where_column);
             ColumnHandle hp = s.Handle(r.table, r.project_column);
-            const int64_t low = r.low, high = r.high;
+            const KeyScalar low = r.low, high = r.high;
             return [db, conn, id, hw, hp, low, high] {
               ProjectSumResult res;
-              res.sum = db->ProjectSum(hw, hp, low, high, QueryContext{});
+              res.sum =
+                  db->ProjectSumScalar(hw, hp, low, high, QueryContext{});
               Send(*conn, id, res);
             };
           });
@@ -414,10 +417,10 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return DispatchQuery<InsertReq>(
           conn, f, [db, conn, id = f.request_id](Session& s, const InsertReq& r) {
             ColumnHandle h = s.Handle(r.table, r.column);
-            const int64_t value = r.value;
+            const KeyScalar value = r.value;
             return [db, conn, id, h, value] {
               InsertResult res;
-              res.rowid = db->Insert(h, value, QueryContext{});
+              res.rowid = db->InsertScalar(h, value, QueryContext{});
               Send(*conn, id, res);
             };
           });
@@ -425,10 +428,10 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
       return DispatchQuery<DeleteReq>(
           conn, f, [db, conn, id = f.request_id](Session& s, const DeleteReq& r) {
             ColumnHandle h = s.Handle(r.table, r.column);
-            const int64_t value = r.value;
+            const KeyScalar value = r.value;
             return [db, conn, id, h, value] {
               DeleteResult res;
-              res.found = db->Delete(h, value, QueryContext{});
+              res.found = db->DeleteScalar(h, value, QueryContext{});
               Send(*conn, id, res);
             };
           });

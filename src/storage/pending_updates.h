@@ -74,11 +74,11 @@ class PendingUpdates {
   bool AnyAtLeast(T low) const {
     std::lock_guard<std::mutex> lk(mu_);
     auto at_least = [&](const std::pair<T, RowId>& p) {
-      return p.first >= low;
+      return !KeyTraits<T>::Less(p.first, low);
     };
-    return (ins_bounds_.any && ins_bounds_.max >= low &&
+    return (ins_bounds_.any && !KeyTraits<T>::Less(ins_bounds_.max, low) &&
             std::any_of(inserts_.begin(), inserts_.end(), at_least)) ||
-           (del_bounds_.any && del_bounds_.max >= low &&
+           (del_bounds_.any && !KeyTraits<T>::Less(del_bounds_.max, low) &&
             std::any_of(deletes_.begin(), deletes_.end(), at_least));
   }
 
@@ -89,7 +89,8 @@ class PendingUpdates {
   bool AnyInRange(T low, T high) const {
     std::lock_guard<std::mutex> lk(mu_);
     auto in_range = [&](const std::pair<T, RowId>& p) {
-      return p.first >= low && p.first < high;
+      return !KeyTraits<T>::Less(p.first, low) &&
+             KeyTraits<T>::Less(p.first, high);
     };
     return (ins_bounds_.Overlaps(low, high) &&
             std::any_of(inserts_.begin(), inserts_.end(), in_range)) ||
@@ -122,13 +123,14 @@ class PendingUpdates {
         any = true;
         min = max = v;
       } else {
-        if (v < min) min = v;
-        if (v > max) max = v;
+        if (KeyTraits<T>::Less(v, min)) min = v;
+        if (KeyTraits<T>::Less(max, v)) max = v;
       }
     }
     void Reset() { any = false; }
     bool Overlaps(T low, T high) const {
-      return any && min < high && max >= low;
+      return any && KeyTraits<T>::Less(min, high) &&
+             !KeyTraits<T>::Less(max, low);
     }
   };
 
@@ -137,7 +139,8 @@ class PendingUpdates {
     std::vector<std::pair<T, RowId>> taken;
     auto keep_end = std::remove_if(
         queue.begin(), queue.end(), [&](const std::pair<T, RowId>& p) {
-          if (p.first >= low && p.first < high) {
+          if (!KeyTraits<T>::Less(p.first, low) &&
+              KeyTraits<T>::Less(p.first, high)) {
             taken.push_back(p);
             return true;
           }
@@ -152,7 +155,7 @@ class PendingUpdates {
     std::vector<std::pair<T, RowId>> taken;
     auto keep_end = std::remove_if(
         queue.begin(), queue.end(), [&](const std::pair<T, RowId>& p) {
-          if (p.first >= low) {
+          if (!KeyTraits<T>::Less(p.first, low)) {
             taken.push_back(p);
             return true;
           }

@@ -1,11 +1,17 @@
 /// \file types.h
-/// \brief Fundamental value and position types of the column-store.
+/// \brief Fundamental value and position types of the column-store, and the
+/// KeyTraits total-order contract every indexable key type satisfies.
 
 #pragma once
 
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
+
+#include "util/key_traits.h"
 
 namespace holix {
 
@@ -61,6 +67,84 @@ struct ValueTypeOf<double> {
   static constexpr ValueType value = ValueType::kDouble;
 };
 
+// ---------------------------------------------------------------------------
+// KeyScalar: a dynamically typed key crossing an untyped boundary
+// ---------------------------------------------------------------------------
+
+/// One key value whose static type is unknown at the call site — facade
+/// entry points and wire frames carry these. Two carrier kinds cover every
+/// column type: int64 (covers int32/int64 exactly) and double. The typed
+/// executors clamp a KeyScalar bound into the column's domain without a
+/// lossy detour: an int64 carrier against a double column converts through
+/// the exact "smallest double >= v" bound, not through a rounding cast.
+struct KeyScalar {
+  enum class Kind : uint8_t { kI64, kF64 };
+
+  Kind kind = Kind::kI64;
+  int64_t i = 0;
+  double d = 0.0;
+
+  constexpr KeyScalar() = default;
+  constexpr KeyScalar(int64_t v) : kind(Kind::kI64), i(v) {}  // NOLINT
+  constexpr KeyScalar(int v) : kind(Kind::kI64), i(v) {}      // NOLINT
+  constexpr KeyScalar(double v) : kind(Kind::kF64), d(v) {}   // NOLINT
+
+  /// Carrier-and-payload equality (f64 payloads compare bit-exact, so a
+  /// NaN scalar equals itself — wire roundtrip tests rely on this).
+  bool operator==(const KeyScalar& o) const {
+    if (kind != o.kind) return false;
+    if (kind == Kind::kI64) return i == o.i;
+    return std::bit_cast<uint64_t>(d) == std::bit_cast<uint64_t>(o.d);
+  }
+
+  static constexpr KeyScalar I64(int64_t v) {
+    KeyScalar s;
+    s.kind = Kind::kI64;
+    s.i = v;
+    return s;
+  }
+  static constexpr KeyScalar F64(double v) {
+    KeyScalar s;
+    s.kind = Kind::kF64;
+    s.d = v;
+    return s;
+  }
+
+  constexpr bool is_f64() const { return kind == Kind::kF64; }
+
+  /// Value as a double (int64 carriers beyond 2^53 round to nearest).
+  constexpr double AsF64() const {
+    return is_f64() ? d : static_cast<double>(i);
+  }
+
+  /// Value as an int64: rounds a double carrier to the nearest integer and
+  /// saturates at the int64 range; the NaN key maps to 0. This is the
+  /// documented behaviour of the integer facade over double columns.
+  constexpr int64_t AsI64Saturating() const {
+    if (!is_f64()) return i;
+    if (d != d) return 0;
+    // 2^63 is exactly representable; anything at or above it saturates.
+    if (d >= 9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    if (d <= -9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::min();
+    }
+    const double r = d < 0 ? d - 0.5 : d + 0.5;  // round half away from zero
+    if (r >= 9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    if (r <= -9223372036854775808.0) {
+      return std::numeric_limits<int64_t>::min();
+    }
+    return static_cast<int64_t>(r);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Type dispatch
+// ---------------------------------------------------------------------------
+
 /// Carries a column element type through a generic lambda:
 /// `[](auto tag) { using T = typename decltype(tag)::type; ... }`.
 template <typename T>
@@ -69,9 +153,9 @@ struct TypeTag {
 };
 
 /// Invokes `fn(TypeTag<T>{})` for the indexable (cracker-capable) element
-/// type matching \p t. Keys must order totally and partition exactly, so the
-/// engine cracks integer attributes; kDouble columns are storage-only until
-/// a comparator-safe kernel lands. Throws std::logic_error for those.
+/// type matching \p t. All supported value types are indexable: integers
+/// order natively, doubles through the KeyTraits<double> total order.
+/// Throws std::logic_error for a tag with no runtime (future-proofing).
 template <typename Fn>
 decltype(auto) DispatchIndexableType(ValueType t, Fn&& fn) {
   switch (t) {
@@ -80,7 +164,7 @@ decltype(auto) DispatchIndexableType(ValueType t, Fn&& fn) {
     case ValueType::kInt64:
       return fn(TypeTag<int64_t>{});
     case ValueType::kDouble:
-      break;
+      return fn(TypeTag<double>{});
   }
   throw std::logic_error(std::string("no indexable runtime for type ") +
                          ValueTypeName(t));

@@ -49,11 +49,16 @@ TpchData TpchData::Generate(double scale_factor, uint64_t seed) {
       const int64_t receiptdate = shipdate + 1 + rng.Below(30);
       const int64_t quantity = 1 + rng.Below(50);
       // extendedprice = quantity * partprice; partprice in [900, 105000).
+      // Stored as real double dollars: the cent amount is integral, so
+      // every value is a cent-granular double (k / 100.0), deterministic
+      // across executors.
       const int64_t partprice = 90'000 + rng.Below(10'411'000);
+      const int64_t price_cents = quantity * (partprice / 100);
       d.l_orderkey.push_back(static_cast<int64_t>(o + 1));
       d.l_quantity.push_back(quantity);
-      d.l_extendedprice.push_back(quantity * (partprice / 100));
-      d.l_discount.push_back(static_cast<int64_t>(rng.Below(11)));
+      d.l_extendedprice.push_back(static_cast<double>(price_cents) / 100.0);
+      // Discount as a real fraction 0.00..0.10 in whole-percent steps.
+      d.l_discount.push_back(static_cast<double>(rng.Below(11)) / 100.0);
       d.l_tax.push_back(static_cast<int64_t>(rng.Below(9)));
       // Returnflag: shipped long ago -> returned/accepted split; recent ->
       // none (dbgen keys this off the receiptdate vs. a cutoff date).

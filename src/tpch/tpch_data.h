@@ -3,10 +3,12 @@
 ///
 /// The paper runs TPC-H SF-10 Queries 1, 6 and 12 against MonetDB. We
 /// generate LINEITEM and ORDERS with the TPC-H value domains that those
-/// queries touch (dates as days since 1992-01-01, prices in cents,
-/// discounts/taxes in percent), so the three queries exercise the same
-/// selection/aggregation/join code paths. dbgen text loading is replaced
-/// by direct in-memory generation — a documented substitution (DESIGN.md).
+/// queries touch (dates as days since 1992-01-01, prices as real double
+/// dollars, discounts as real double fractions — matching the benchmark's
+/// DECIMAL columns — taxes in integer percent), so the three queries
+/// exercise the same selection/aggregation/join code paths. dbgen text
+/// loading is replaced by direct in-memory generation — a documented
+/// substitution (DESIGN.md).
 
 #pragma once
 
@@ -24,13 +26,14 @@ inline constexpr int64_t kTpchDateMax = 2557;
 /// TPC-H shipmodes (REG AIR, AIR, RAIL, SHIP, TRUCK, MAIL, FOB).
 inline constexpr int64_t kTpchNumShipModes = 7;
 
-/// Generated TPC-H tables, decomposed into dense int64 columns.
+/// Generated TPC-H tables, decomposed into dense typed columns (int64
+/// keys/dates/flags, double prices and discounts).
 struct TpchData {
   // --- LINEITEM ---
   std::vector<int64_t> l_orderkey;       ///< 1-based key into ORDERS.
   std::vector<int64_t> l_quantity;       ///< 1..50.
-  std::vector<int64_t> l_extendedprice;  ///< cents.
-  std::vector<int64_t> l_discount;       ///< percent, 0..10.
+  std::vector<double> l_extendedprice;   ///< dollars (cent-granular).
+  std::vector<double> l_discount;        ///< fraction, 0.00..0.10.
   std::vector<int64_t> l_tax;            ///< percent, 0..8.
   std::vector<int64_t> l_returnflag;     ///< 0=A, 1=N, 2=R.
   std::vector<int64_t> l_linestatus;     ///< 0=O, 1=F.

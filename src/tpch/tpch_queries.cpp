@@ -1,6 +1,7 @@
 #include "tpch/tpch_queries.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 namespace holix {
@@ -12,18 +13,50 @@ inline size_t Q1Group(int64_t returnflag, int64_t linestatus) {
   return static_cast<size_t>(returnflag * 2 + linestatus);
 }
 
-inline void Q1Accumulate(Q1Result& r, int64_t qty, int64_t price,
-                         int64_t disc, int64_t tax, int64_t flag,
-                         int64_t status) {
+inline void Q1Accumulate(Q1Result& r, int64_t qty, double price, double disc,
+                         int64_t tax, int64_t flag, int64_t status) {
   const size_t g = Q1Group(flag, status);
+  const double disc_price = price * (1.0 - disc);
   r.sum_qty[g] += qty;
   r.sum_base_price[g] += price;
-  r.sum_disc_price[g] += price * (100 - disc);
-  r.sum_charge[g] += price * (100 - disc) * (100 + tax);
+  r.sum_disc_price[g] += disc_price;
+  r.sum_charge[g] += disc_price * (1.0 + static_cast<double>(tax) / 100.0);
   r.count[g] += 1;
 }
 
+inline bool NearOrEqual(double a, double b, double rel) {
+  return std::abs(a - b) <= rel * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
 }  // namespace
+
+bool ApproxEqual(double a, double b, double rel) {
+  return NearOrEqual(a, b, rel);
+}
+
+bool ApproxEqual(const Q1Result& a, const Q1Result& b, double rel) {
+  for (size_t g = 0; g < Q1Result::kGroups; ++g) {
+    if (a.sum_qty[g] != b.sum_qty[g] || a.count[g] != b.count[g]) {
+      return false;
+    }
+    if (!NearOrEqual(a.sum_base_price[g], b.sum_base_price[g], rel) ||
+        !NearOrEqual(a.sum_disc_price[g], b.sum_disc_price[g], rel) ||
+        !NearOrEqual(a.sum_charge[g], b.sum_charge[g], rel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ApproxEqual(const Q6Result& a, const Q6Result& b, double rel) {
+  return NearOrEqual(a.revenue, b.revenue, rel);
+}
+
+std::vector<int64_t> PayloadLane(const std::vector<double>& v) {
+  std::vector<int64_t> lane(v.size());
+  for (size_t i = 0; i < v.size(); ++i) lane[i] = PayloadLaneFromDouble(v[i]);
+  return lane;
+}
 
 Q1Params RandomQ1Params(Rng& rng) {
   // qgen: DELTA in [60, 120] days before the end of the date range.
@@ -35,8 +68,11 @@ Q1Params RandomQ1Params(Rng& rng) {
 Q6Params RandomQ6Params(Rng& rng) {
   Q6Params p;
   p.date_lo = static_cast<int64_t>(rng.Below(kTpchDateMax - 400));
-  p.discount_lo = 1 + static_cast<int64_t>(rng.Below(8));
-  p.discount_hi = p.discount_lo + 2;
+  // Both bounds derive from integer percents exactly like the data values
+  // (k / 100.0), so the inclusive double comparisons are exact.
+  const int64_t lo_pct = 1 + static_cast<int64_t>(rng.Below(8));
+  p.discount_lo = static_cast<double>(lo_pct) / 100.0;
+  p.discount_hi = static_cast<double>(lo_pct + 2) / 100.0;
   p.max_quantity = 24 + static_cast<int64_t>(rng.Below(2));
   return p;
 }
@@ -199,8 +235,9 @@ TpchCrackedExecutor::TpchCrackedExecutor(const TpchData& data) : d_(data) {
   by_shipdate_ = std::make_shared<CrackerColumn<int64_t>>(
       "lineitem.l_shipdate", d_.l_shipdate);
   by_shipdate_->AttachPayload(d_.l_quantity);
-  by_shipdate_->AttachPayload(d_.l_extendedprice);
-  by_shipdate_->AttachPayload(d_.l_discount);
+  // Double columns ride in the opaque 64-bit payload lanes bit-cast.
+  by_shipdate_->AttachPayload(PayloadLane(d_.l_extendedprice));
+  by_shipdate_->AttachPayload(PayloadLane(d_.l_discount));
   by_shipdate_->AttachPayload(d_.l_tax);
   by_shipdate_->AttachPayload(d_.l_returnflag);
   by_shipdate_->AttachPayload(d_.l_linestatus);
@@ -221,7 +258,8 @@ Q1Result TpchCrackedExecutor::Q1(const Q1Params& p) {
   size_t i = range.begin;
   col.ScanRange(range, [&](int64_t, RowId) {
     Q1Accumulate(r, col.PayloadAtUnsafe(kQty, i),
-                 col.PayloadAtUnsafe(kPrice, i), col.PayloadAtUnsafe(kDisc, i),
+                 DoubleFromPayloadLane(col.PayloadAtUnsafe(kPrice, i)),
+                 DoubleFromPayloadLane(col.PayloadAtUnsafe(kDisc, i)),
                  col.PayloadAtUnsafe(kTax, i),
                  col.PayloadAtUnsafe(kRetFlag, i),
                  col.PayloadAtUnsafe(kLineStatus, i));
@@ -236,10 +274,10 @@ Q6Result TpchCrackedExecutor::Q6(const Q6Params& p) {
   const PositionRange range = col.SelectRange(p.date_lo, p.date_lo + 365);
   size_t i = range.begin;
   col.ScanRange(range, [&](int64_t, RowId) {
-    const int64_t disc = col.PayloadAtUnsafe(kDisc, i);
+    const double disc = DoubleFromPayloadLane(col.PayloadAtUnsafe(kDisc, i));
     if (disc >= p.discount_lo && disc <= p.discount_hi &&
         col.PayloadAtUnsafe(kQty, i) < p.max_quantity) {
-      r.revenue += col.PayloadAtUnsafe(kPrice, i) * disc;
+      r.revenue += DoubleFromPayloadLane(col.PayloadAtUnsafe(kPrice, i)) * disc;
     }
     ++i;
   });

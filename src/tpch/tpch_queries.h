@@ -3,12 +3,16 @@
 /// plain scans ("MonetDB"), pre-sorted projections ("Presorted MonetDB"),
 /// sideways-style cracking, and cracking + holistic workers.
 ///
-/// All executors return bit-identical results (integer arithmetic in
-/// cents/percent), which the tests rely on.
+/// Integer aggregates (counts, quantities) are bit-identical across
+/// executors; the double money aggregates (base price, disc price, charge,
+/// revenue) are order-dependent in their last ulps — each executor visits
+/// rows in a different physical order — so cross-executor checks go through
+/// ApproxEqual with a relative tolerance instead of operator==.
 
 #pragma once
 
 #include <array>
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -26,30 +30,33 @@ struct Q1Params {
   int64_t ship_cutoff = kTpchDateMax - 90;
 };
 
-/// Aggregate row of one Q1 group. Charges use exact integer units:
-/// disc_price in cent-percent (x100), charge in cent-percent^2 (x10000).
+/// Aggregate row of one Q1 group. Money aggregates are doubles (real
+/// dollars): disc_price = price * (1 - discount), charge = disc_price *
+/// (1 + tax/100).
 struct Q1Result {
   static constexpr size_t kGroups = 6;  // returnflag(3) x linestatus(2)
   std::array<int64_t, kGroups> sum_qty{};
-  std::array<int64_t, kGroups> sum_base_price{};
-  std::array<int64_t, kGroups> sum_disc_price{};
-  std::array<int64_t, kGroups> sum_charge{};
+  std::array<double, kGroups> sum_base_price{};
+  std::array<double, kGroups> sum_disc_price{};
+  std::array<double, kGroups> sum_charge{};
   std::array<int64_t, kGroups> count{};
 
   bool operator==(const Q1Result&) const = default;
 };
 
-/// Q6: forecast revenue change.
+/// Q6: forecast revenue change. Discount bounds are real fractions in
+/// whole-percent steps (e.g. 0.05..0.07), generated from the same integer
+/// percents as the data so the inclusive comparisons are exact.
 struct Q6Params {
-  int64_t date_lo = 365;      ///< shipdate in [date_lo, date_lo + 365).
-  int64_t discount_lo = 5;    ///< discount between lo and hi inclusive.
-  int64_t discount_hi = 7;
-  int64_t max_quantity = 24;  ///< quantity < max_quantity.
+  int64_t date_lo = 365;        ///< shipdate in [date_lo, date_lo + 365).
+  double discount_lo = 0.05;    ///< discount between lo and hi inclusive.
+  double discount_hi = 0.07;
+  int64_t max_quantity = 24;    ///< quantity < max_quantity.
 };
 
-/// Q6 revenue in cent-percent units (sum extendedprice * discount).
+/// Q6 revenue in dollars (sum extendedprice * discount).
 struct Q6Result {
-  int64_t revenue = 0;
+  double revenue = 0;
   bool operator==(const Q6Result&) const = default;
 };
 
@@ -72,6 +79,27 @@ struct Q12Result {
 Q1Params RandomQ1Params(Rng& rng);
 Q6Params RandomQ6Params(Rng& rng);
 Q12Params RandomQ12Params(Rng& rng);
+
+/// Relative-tolerance comparison for the double money aggregates (the
+/// per-executor row visit order perturbs the last ulps of each sum).
+bool ApproxEqual(double a, double b, double rel = 1e-9);
+bool ApproxEqual(const Q1Result& a, const Q1Result& b, double rel = 1e-9);
+bool ApproxEqual(const Q6Result& a, const Q6Result& b, double rel = 1e-9);
+/// Q12 aggregates are pure counts; equality stays exact.
+inline bool ApproxEqual(const Q12Result& a, const Q12Result& b,
+                        double /*rel*/ = 0) {
+  return a == b;
+}
+
+/// Sideways payload lanes are opaque 64-bit slots; doubles ride in them
+/// bit-cast (the lanes are never compared, only moved with their row).
+inline int64_t PayloadLaneFromDouble(double v) {
+  return std::bit_cast<int64_t>(v);
+}
+inline double DoubleFromPayloadLane(int64_t lane) {
+  return std::bit_cast<double>(lane);
+}
+std::vector<int64_t> PayloadLane(const std::vector<double>& v);
 
 /// Full-scan executor (plain MonetDB in Fig. 14).
 class TpchScanExecutor {

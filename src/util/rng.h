@@ -7,9 +7,12 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <type_traits>
+
+#include "util/key_traits.h"
 
 namespace holix {
 
@@ -90,20 +93,50 @@ class Rng {
   uint64_t state_[4];
 };
 
-/// Uniform value in (lo, hi] drawn in the element type's own arithmetic.
-/// The span is computed in the unsigned companion type, so domains as wide
-/// as the whole of T (e.g. [INT64_MIN, INT64_MAX]) never overflow the way a
-/// detour through int64_t would for narrower or equally wide types.
-/// Requires lo < hi.
+/// Uniform pivot in (lo, hi] drawn in the element type's own arithmetic.
+///
+/// Integer keys: the span is computed in the unsigned companion type, so
+/// domains as wide as the whole of T (e.g. [INT64_MIN, INT64_MAX]) never
+/// overflow the way a detour through int64_t would.
+///
+/// Floating-point keys: a value-space convex combination with a draw u in
+/// (0, 1] — pivots are uniform over the value interval, NOT over the set
+/// of representable doubles (rank-space sampling would put half of all
+/// pivots below ~1e-154 on a [0, 1) domain and starve refinement). The
+/// open low end of u plus an explicit total-order range check remove any
+/// bias at the domain edges: the result can neither collapse onto lo (a
+/// degenerate pivot) nor overshoot hi through rounding. Domains with
+/// non-finite endpoints (±inf, the NaN key) fall back to exact rank-space
+/// sampling, which is defined for every pair of keys.
+///
+/// Requires KeyTraits<T>::Less(lo, hi).
 template <typename T>
 T SamplePivotBetween(Rng& rng, T lo, T hi) {
-  static_assert(std::is_integral_v<T>,
-                "pivot sampling is defined for integral key types");
-  using U = std::make_unsigned_t<T>;
-  const U span = static_cast<U>(hi) - static_cast<U>(lo);  // >= 1
-  const U offset =
-      static_cast<U>(rng.Below(static_cast<uint64_t>(span))) + U{1};
-  return static_cast<T>(static_cast<U>(lo) + offset);
+  if constexpr (std::is_floating_point_v<T>) {
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      const double u =
+          static_cast<double>((rng.Next() >> 11) + 1) * 0x1.0p-53;
+      const T p = static_cast<T>(lo * (1.0 - u) + hi * u);
+      if (std::isfinite(p) && KeyTraits<T>::Less(lo, p) &&
+          !KeyTraits<T>::Less(hi, p)) {
+        return p;
+      }
+      // Rounding landed outside (lo, hi] (adjacent representables, huge
+      // magnitudes): fall through to the exact rank-space draw.
+    }
+    const uint64_t rlo = KeyTraits<T>::ToRank(lo);
+    const uint64_t rhi = KeyTraits<T>::ToRank(hi);
+    const uint64_t offset = rng.Below(rhi - rlo) + 1;  // in [1, span]
+    return KeyTraits<T>::FromRank(rlo + offset);
+  } else {
+    static_assert(std::is_integral_v<T>,
+                  "pivot sampling needs an integral or floating-point key");
+    using U = std::make_unsigned_t<T>;
+    const U span = static_cast<U>(hi) - static_cast<U>(lo);  // >= 1
+    const U offset =
+        static_cast<U>(rng.Below(static_cast<uint64_t>(span))) + U{1};
+    return static_cast<T>(static_cast<U>(lo) + offset);
+  }
 }
 
 }  // namespace holix

@@ -117,6 +117,17 @@ std::vector<int64_t> GenerateUniformColumn(size_t n, int64_t domain,
   return data;
 }
 
+std::vector<double> GenerateUniformDoubleColumn(size_t n, int64_t domain,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> data(n);
+  for (auto& v : data) {
+    v = static_cast<double>(rng.Below(static_cast<uint64_t>(domain))) +
+        rng.NextDouble();
+  }
+  return data;
+}
+
 std::vector<WorkloadOp> GenerateUpdateWorkload(UpdateScenario scenario,
                                                size_t num_queries,
                                                int64_t domain,

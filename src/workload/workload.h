@@ -61,6 +61,12 @@ std::vector<RangeQuery> GenerateWorkload(const WorkloadSpec& spec);
 std::vector<int64_t> GenerateUniformColumn(size_t n, int64_t domain,
                                            uint64_t seed);
 
+/// Generates a column of \p n doubles uniform over [0, domain) with
+/// genuine fractional parts (integer grid point + uniform [0, 1) offset),
+/// for the floating-point workload experiments.
+std::vector<double> GenerateUniformDoubleColumn(size_t n, int64_t domain,
+                                                uint64_t seed);
+
 /// One step of an interleaved read/write workload (§5.7).
 struct WorkloadOp {
   enum class Kind : uint8_t { kQuery, kInsert, kIdle } kind = Kind::kQuery;

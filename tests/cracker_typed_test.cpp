@@ -1,8 +1,10 @@
-/// Typed tests: the cracking stack must behave identically for int32 and
-/// int64 key columns (the engine instantiates both).
+/// Typed tests: the cracking stack must behave identically for int32,
+/// int64 and double key columns (the engine instantiates all three;
+/// doubles order through the KeyTraits<double> total order).
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <limits>
 #include <vector>
 
@@ -30,7 +32,7 @@ class TypedCrackerTest : public ::testing::Test {
   }
 };
 
-using KeyTypes = ::testing::Types<int32_t, int64_t>;
+using KeyTypes = ::testing::Types<int32_t, int64_t, double>;
 TYPED_TEST_SUITE(TypedCrackerTest, KeyTypes);
 
 TYPED_TEST(TypedCrackerTest, SelectMatchesNaive) {
@@ -62,17 +64,17 @@ TYPED_TEST(TypedCrackerTest, RefineAndInvariants) {
 }
 
 TYPED_TEST(TypedCrackerTest, ExtremeDomainValues) {
-  std::vector<TypeParam> base = {std::numeric_limits<TypeParam>::min(),
-                                 -1,
-                                 0,
-                                 1,
-                                 std::numeric_limits<TypeParam>::max() - 1,
-                                 std::numeric_limits<TypeParam>::max()};
+  using KT = KeyTraits<TypeParam>;
+  // Lowest() is INT_MIN for the integer types, -inf for double; `top` is
+  // numeric max (DBL_MAX for double), `below_top` its total-order
+  // predecessor (max-1, or nextdown(DBL_MAX)).
+  const TypeParam lo = KT::Lowest();
+  const TypeParam top = std::numeric_limits<TypeParam>::max();
+  const TypeParam below_top = KT::FromRank(KT::ToRank(top) - 1);
+  std::vector<TypeParam> base = {lo, -1, 0, 1, below_top, top};
   CrackerColumn<TypeParam> col("a", base);
-  EXPECT_EQ(col.SelectRange(std::numeric_limits<TypeParam>::min(),
-                            std::numeric_limits<TypeParam>::max())
-                .size(),
-            5u);  // everything except max itself
+  EXPECT_EQ(col.SelectRange(lo, top).size(), 5u);  // everything except top
+  EXPECT_EQ(col.SelectRangeClosed(lo, KT::Highest()).size(), 6u);
   EXPECT_EQ(col.SelectRange(0, 2).size(), 2u);
   EXPECT_TRUE(col.CheckInvariants());
 }
@@ -98,6 +100,59 @@ TYPED_TEST(TypedCrackerTest, RippleInsertTyped) {
                           static_cast<TypeParam>(310));
   EXPECT_EQ(col.SelectRange(300, 310).size(), before + 1);
   EXPECT_TRUE(col.CheckInvariants());
+}
+
+// --- double-only total-order semantics at the cracking layer -------------
+
+TEST(DoubleCrackerSemantics, SpecialKeysOrderAndSelect) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<double> base = {nan, -kInf, -0.0, 0.0, 1.5, kInf, 3.25};
+  CrackerColumn<double> col("d", base);
+  // -0.0 and +0.0 are the same key.
+  EXPECT_EQ(col.SelectRange(0.0, 1.0).size(), 2u);
+  // A half-open high at the NaN key selects everything below it.
+  EXPECT_EQ(col.SelectRange(-kInf, KeyTraits<double>::Highest()).size(), 6u);
+  // The closed tail reaches the NaN key itself.
+  EXPECT_EQ(col.SelectRangeClosed(-kInf, KeyTraits<double>::Highest()).size(),
+            7u);
+  EXPECT_EQ(col.SelectRangeClosed(nan, nan).size(), 1u);
+  // +inf is an ordinary orderable key just below NaN.
+  EXPECT_EQ(col.SelectRange(kInf, KeyTraits<double>::Highest()).size(), 1u);
+  EXPECT_TRUE(col.CheckInvariants());
+}
+
+TEST(DoubleCrackerSemantics, NaNRowsNeverWedgeTheKernels) {
+  // A column salted with NaNs must crack to a consistent piece structure
+  // with every kernel (with raw `<` the Hoare kernel would spin or tear).
+  Rng rng(7);
+  std::vector<double> base(20000);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base[i] = (i % 97 == 0) ? std::numeric_limits<double>::quiet_NaN()
+                            : static_cast<double>(rng.Below(1 << 16)) + 0.25;
+  }
+  const size_t nans = (base.size() + 96) / 97;
+  for (CrackAlgo algo :
+       {CrackAlgo::kScalar, CrackAlgo::kOutOfPlace, CrackAlgo::kParallel}) {
+    CrackerColumn<double> col("d", base);
+    CrackConfig cfg;
+    cfg.algo = algo;
+    for (int i = 0; i < 60; ++i) {
+      const double lo = static_cast<double>(rng.Below(1 << 16));
+      const double hi = lo + 1.0 + static_cast<double>(rng.Below(1 << 12));
+      size_t naive = 0;
+      for (double x : base) {
+        if (!(x != x) && x >= lo && x < hi) ++naive;
+      }
+      ASSERT_EQ(col.SelectRange(lo, hi, cfg).size(), naive);
+    }
+    // All NaNs sit in the closed tail above +inf.
+    EXPECT_EQ(col.SelectRangeClosed(std::numeric_limits<double>::infinity(),
+                                    KeyTraits<double>::Highest())
+                  .size(),
+              nans);
+    EXPECT_TRUE(col.CheckInvariants());
+  }
 }
 
 }  // namespace

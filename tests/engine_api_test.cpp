@@ -1,11 +1,15 @@
-/// Handle/session/registry engine-API tests: int32 attributes through the
-/// public facade (load, crack, retire to C_optimal), handle invalidation
-/// after DropTable, concurrent sessions issuing mixed reads and inserts,
-/// async submission, and executor-per-mode parity against the naive
-/// reference (the same oracle the seed database_test uses).
+/// Handle/session/registry engine-API tests: int32 and double attributes
+/// through the public facade (load, crack, retire to C_optimal), handle
+/// invalidation after DropTable, concurrent sessions issuing mixed reads
+/// and inserts, async submission, executor-per-mode parity against the
+/// naive reference (the same oracle the seed database_test uses), and the
+/// pinned double total-order semantics (NaN / -0.0 / ±inf, closed-bound
+/// upgrades at the order's top, max(double) pending-update merges).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <future>
 #include <limits>
 #include <thread>
@@ -276,18 +280,257 @@ TEST(EngineApi, AsyncSubmitThroughClientPool) {
   }
 }
 
-TEST(EngineApi, DoubleColumnLoadsAsStorageOnly) {
+// ---------------------------------------------------------------------------
+// Double-keyed attributes through the facade (the typed-core refactor
+// lifted the "kDouble columns are storage-only" limitation).
+// ---------------------------------------------------------------------------
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+/// Uniform doubles in [0, domain) with genuine fractional parts — the
+/// same substrate the bench harness loads (workload.h).
+std::vector<double> UniformDoubles(size_t n, int64_t domain, uint64_t seed) {
+  return GenerateUniformDoubleColumn(n, domain, seed);
+}
+
+size_t NaiveCountF64(const std::vector<double>& v, double lo, double hi,
+                     bool closed = false) {
+  using KT = KeyTraits<double>;
+  size_t c = 0;
+  for (double x : v) {
+    const bool hit = !KT::Less(x, lo) &&
+                     (closed ? !KT::Less(hi, x) : KT::Less(x, hi));
+    c += hit ? 1 : 0;
+  }
+  return c;
+}
+
+double NaiveSumF64(const std::vector<double>& v, double lo, double hi) {
+  using KT = KeyTraits<double>;
+  double s = 0;
+  for (double x : v) {
+    if (!KT::Less(x, lo) && KT::Less(x, hi)) s += x;
+  }
+  return s;
+}
+
+TEST(EngineApi, DoubleColumnQueryableInEveryMode) {
+  const auto data = UniformDoubles(40000, kDomain, 52);
+  for (ExecMode mode :
+       {ExecMode::kScan, ExecMode::kOffline, ExecMode::kOnline,
+        ExecMode::kAdaptive, ExecMode::kStochastic, ExecMode::kCCGI,
+        ExecMode::kHolistic}) {
+    DatabaseOptions opts;
+    opts.mode = mode;
+    opts.user_threads = 2;
+    opts.total_cores = 4;
+    opts.online_observation_window = 4;
+    Database db(opts);
+    db.LoadColumn<double>("r", "price", data);
+    const char* name = ExecModeName(mode);
+    const ColumnHandle h = db.Resolve("r", "price");
+    EXPECT_EQ(h.type(), ValueType::kDouble) << name;
+    Rng rng(53);
+    for (int i = 0; i < 25; ++i) {
+      const double lo = static_cast<double>(rng.Below(kDomain)) * 0.875;
+      const double hi = lo + 1.0 + static_cast<double>(rng.Below(kDomain / 4));
+      ASSERT_EQ(db.CountRangeF64(h, lo, hi), NaiveCountF64(data, lo, hi))
+          << name << " query " << i;
+      // Double sums are order-dependent in the last ulps; compare with a
+      // relative tolerance.
+      const double naive = NaiveSumF64(data, lo, hi);
+      EXPECT_NEAR(db.SumRangeF64(h, lo, hi), naive,
+                  1e-9 * std::max(1.0, std::abs(naive)))
+          << name << " query " << i;
+    }
+    // Whole-domain: the closed upgrade at hi == the NaN key covers +inf
+    // and NaN rows too (none here, so it equals the row count).
+    EXPECT_EQ(db.CountRangeF64(h, -kInf, kNaN), data.size()) << name;
+    // int64 bounds clamp exactly onto the double domain.
+    EXPECT_EQ(db.CountRange(h, 100, 90000),
+              NaiveCountF64(data, 100.0, 90000.0))
+        << name;
+  }
+}
+
+TEST(EngineApi, DoubleRetiresToOptimalThroughFacade) {
+  // load -> crack -> C_optimal on a double attribute: shrink |L1| so the
+  // average piece (in BYTES) dips below it within a handful of queries.
+  OverrideL1DataCacheBytes(64 * 1024);
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kHolistic;
+  opts.user_threads = 1;
+  opts.total_cores = 2;
+  opts.holistic.monitor_interval_seconds = 0.001;
+  Database db(opts);
+  const auto data = UniformDoubles(50000, kDomain, 54);
+  db.LoadColumn<double>("r", "price", data);
+
+  Rng rng(55);
+  bool optimal = false;
+  for (int i = 0; i < 300 && !optimal; ++i) {
+    const double lo = static_cast<double>(rng.Below(kDomain));
+    const double hi = lo + 1.0 + static_cast<double>(rng.Below(kDomain / 8));
+    ASSERT_EQ(db.CountRangeF64("r", "price", lo, hi),
+              NaiveCountF64(data, lo, hi));
+    optimal = db.holistic()->store().Count(ConfigKind::kOptimal) == 1;
+  }
+  EXPECT_TRUE(optimal) << "double index never retired to C_optimal";
+  EXPECT_EQ(db.holistic()->store().KindOf("r.price"), ConfigKind::kOptimal);
+  EXPECT_EQ(db.CountRangeF64("r", "price", 5000.0, 90000.0),
+            NaiveCountF64(data, 5000.0, 90000.0));
+  OverrideL1DataCacheBytes(0);
+}
+
+TEST(EngineApi, DoubleSpecialKeysInsertThenSelect) {
+  // NaN / -0.0 / +inf semantics, pinned: NaN is one key above +inf, -0.0
+  // and +0.0 are the same key, and an exclusive high at the NaN key
+  // upgrades to the closed bound (so [NaN, NaN] selects the NaN rows).
   DatabaseOptions opts;
   opts.mode = ExecMode::kAdaptive;
   Database db(opts);
-  db.LoadColumn("r", "a", test::MakeUniform(1000, kDomain, 49));
-  db.LoadColumn<double>("r", "price", std::vector<double>(1000, 9.5));
-  // Visible through the catalog, not queryable through the facade.
-  EXPECT_EQ(db.catalog().GetTable("r").GetColumn<double>("price").size(),
-            1000u);
-  EXPECT_THROW(db.Resolve("r", "price"), std::out_of_range);
-  // The indexable attribute beside it is unaffected.
-  EXPECT_GT(db.CountRange("r", "a", 0, kDomain), 0u);
+  db.LoadColumn<double>("r", "price", UniformDoubles(5000, 1000, 56));
+  const ColumnHandle h = db.Resolve("r", "price");
+
+  db.InsertF64(h, kNaN);
+  db.InsertF64(h, -0.0);
+  db.InsertF64(h, kInf);
+
+  // The NaN row: countable only through the closed upgrade, absent from
+  // every half-open range below the order's top.
+  EXPECT_EQ(db.CountRangeF64(h, kNaN, kNaN), 1u);
+  // Half-open below the top excludes both +inf and NaN, includes -0.0.
+  EXPECT_EQ(db.CountRangeF64(h, 0.0, kInf), 5001u);
+  EXPECT_EQ(db.CountRangeF64(h, kInf, kNaN), 2u);  // +inf row and NaN row
+  // -0.0 == +0.0: the inserted -0.0 is counted by [0.0, 1.0).
+  EXPECT_EQ(db.CountRangeF64(h, 0.0, 1.0),
+            NaiveCountF64(UniformDoubles(5000, 1000, 56), 0.0, 1.0) + 1);
+  // Whole order: base rows + the three specials.
+  EXPECT_EQ(db.CountRangeF64(h, -kInf, kNaN), 5003u);
+
+  // Delete them again — the closed unit select reaches every key,
+  // including the order's top; deleting +0.0 removes the -0.0 row (same
+  // key).
+  EXPECT_TRUE(db.DeleteF64(h, kNaN));
+  EXPECT_FALSE(db.DeleteF64(h, kNaN));  // only one NaN row existed
+  EXPECT_TRUE(db.DeleteF64(h, kInf));
+  EXPECT_TRUE(db.DeleteF64(h, 0.0));
+  EXPECT_EQ(db.CountRangeF64(h, -kInf, kNaN), 5000u);
+}
+
+TEST(EngineApi, DoubleMaxPendingMergeThroughClosedTail) {
+  // Pending rows holding max(double) (and the NaN key above it) must be
+  // merged by the closed-tail path — an exclusive high cannot express the
+  // order's top, so a half-open approximation would leave them parked.
+  constexpr double kMax = std::numeric_limits<double>::max();
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  db.LoadColumn<double>("r", "price", UniformDoubles(5000, 1000, 57));
+  const ColumnHandle h = db.Resolve("r", "price");
+  db.CountRangeF64(h, 100.0, 200.0);  // build + crack the index
+  db.InsertF64(h, kMax);
+  db.InsertF64(h, kMax);
+  db.InsertF64(h, kNaN);
+  // The closed tail [kMax, NaN] merges and counts all three pending rows.
+  EXPECT_EQ(db.CountRangeF64(h, kMax, kNaN), 3u);
+  // The unit range at max(double) is expressible half-open as [max, +inf)
+  // — every double key has a total-order successor.
+  EXPECT_EQ(db.CountRangeF64(h, kMax, kInf), 2u);
+  EXPECT_TRUE(db.DeleteF64(h, kMax));
+  EXPECT_EQ(db.CountRangeF64(h, kMax, kNaN), 2u);
+}
+
+TEST(EngineApi, DoubleConcurrentSessionsMixedReadsAndInserts) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  opts.user_threads = 1;
+  Database db(opts);
+  const auto data = UniformDoubles(50000, kDomain, 58);
+  db.LoadColumn<double>("r", "price", data);
+
+  // Each client inserts into its own fractional band above the base
+  // domain while every client reads shared ranges concurrently.
+  constexpr int kClients = 4;
+  constexpr int kInsertsPerClient = 50;
+  constexpr double kBandBase = static_cast<double>(int64_t{1} << 21);
+  std::atomic<int> read_failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Session session = db.OpenSession();
+      const ColumnHandle h = session.Handle("r", "price");
+      Rng rng(600 + c);
+      for (int i = 0; i < kInsertsPerClient; ++i) {
+        session.InsertF64(h, kBandBase + c * 1000.0 + i + 0.5);
+        const double lo = static_cast<double>(rng.Below(kDomain));
+        const double hi =
+            lo + 1.0 + static_cast<double>(rng.Below(kDomain / 8));
+        if (session.CountRangeF64(h, lo, hi) != NaiveCountF64(data, lo, hi)) {
+          read_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(read_failures.load(), 0);
+  Session verify = db.OpenSession();
+  const ColumnHandle h = verify.Handle("r", "price");
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(verify.CountRangeF64(h, kBandBase + c * 1000.0,
+                                   kBandBase + c * 1000.0 + kInsertsPerClient),
+              static_cast<size_t>(kInsertsPerClient))
+        << "client " << c;
+  }
+}
+
+TEST(EngineApi, DoubleBoundsOnIntegerColumns) {
+  // The reverse clamp: f64 bounds against an int64 column use exact
+  // ceil/floor arithmetic (fractional bounds tighten inward, an integral
+  // exclusive high excludes itself, and a high above the integer range —
+  // +inf or the NaN key — degrades to the closed bound at max).
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  const auto data = test::MakeUniform(30000, kDomain, 61);
+  db.LoadColumn("r", "a", data);
+  const ColumnHandle h = db.Resolve("r", "a");
+  EXPECT_EQ(db.CountRangeF64(h, 100.5, 200.5), NaiveCount(data, 101, 201));
+  EXPECT_EQ(db.CountRangeF64(h, 100.0, 200.0), NaiveCount(data, 100, 200));
+  EXPECT_EQ(db.CountRangeF64(h, 0.0, kInf), data.size());
+  EXPECT_EQ(db.CountRangeF64(h, -kInf, kNaN), data.size());
+  EXPECT_EQ(db.CountRangeF64(h, kNaN, kNaN), 0u);  // NaN lo: above all ints
+  // Updates: integral doubles convert, fractional ones are rejected.
+  EXPECT_THROW(db.InsertF64(h, 2.5), std::out_of_range);
+  db.InsertF64(h, static_cast<double>(kDomain) + 3.0);
+  EXPECT_EQ(db.CountRange(h, kDomain, kDomain + 10), 1u);
+  EXPECT_FALSE(db.DeleteF64(h, static_cast<double>(kDomain) + 3.5));
+  EXPECT_TRUE(db.DeleteF64(h, static_cast<double>(kDomain) + 3.0));
+}
+
+TEST(EngineApi, DoubleProjectSumAcrossTypes) {
+  DatabaseOptions opts;
+  opts.mode = ExecMode::kAdaptive;
+  Database db(opts);
+  const auto prices = UniformDoubles(20000, kDomain, 59);
+  const auto keys = test::MakeUniform(20000, kDomain, 60);
+  db.LoadColumn<double>("r", "price", prices);
+  db.LoadColumn("r", "k", keys);
+  const ColumnHandle hp = db.Resolve("r", "price");
+  const ColumnHandle hk = db.Resolve("r", "k");
+  double naive_kp = 0;
+  int64_t naive_pk = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] >= 100 && keys[i] < 90000) naive_kp += prices[i];
+    if (prices[i] >= 100.0 && prices[i] < 90000.0) naive_pk += keys[i];
+  }
+  // Select on the int64 attribute, project the double one: f64 result.
+  const double kp = db.ProjectSumF64(hk, hp, 100.0, 90000.0);
+  EXPECT_NEAR(kp, naive_kp, 1e-9 * std::max(1.0, std::abs(naive_kp)));
+  // Select on the double attribute, project the int64 one: exact i64.
+  EXPECT_EQ(db.ProjectSum(hp, hk, 100, 90000), naive_pk);
 }
 
 // The closed-bound select primitive: rows holding exactly INT32_MAX are

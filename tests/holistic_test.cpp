@@ -100,7 +100,9 @@ TEST(AdaptiveIndex, DistanceShrinksWithRefinement) {
   OverrideL1DataCacheBytes(8 * 64);  // 64 elements of int64 fit in "L1"
   auto idx = MakeIndex("r.a", 6400);
   const double d0 = idx->DistanceToOptimal();
-  EXPECT_NEAR(d0, 6400.0 - 64.0, 1e-9);
+  // Distance is accounted in bytes since the typed-core refactor: one
+  // 6400-element int64 piece is 6400*8 bytes, minus the 512-byte "L1".
+  EXPECT_NEAR(d0, 6400.0 * 8.0 - 512.0, 1e-9);
   Rng rng(3);
   CrackConfig cfg;
   while (!idx->IsOptimal()) {

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <stdexcept>
@@ -139,6 +140,94 @@ TEST(Protocol, RoundtripUpdatesAndError) {
   const ErrorMsg e = Roundtrip(err);
   EXPECT_EQ(e.code, ErrorCode::kNoSuchColumn);
   EXPECT_EQ(e.message, "no column r.z");
+}
+
+// --- Typed scalar frames (protocol v2) -----------------------------------
+
+TEST(Protocol, RoundtripTypedScalars) {
+  // f64 bounds survive bit-exactly, including the special keys.
+  SumRangeReq sum;
+  sum.session_id = 4;
+  sum.table = "r";
+  sum.column = "price";
+  sum.low = KeyScalar::F64(0.25);
+  sum.high = KeyScalar::F64(std::numeric_limits<double>::quiet_NaN());
+  const SumRangeReq s = Roundtrip(sum);
+  EXPECT_TRUE(s.low == KeyScalar::F64(0.25));
+  EXPECT_TRUE(s.high.is_f64());
+  EXPECT_TRUE(std::isnan(s.high.d));
+
+  // Mixed carriers stay independent on the wire.
+  CountRangeReq mixed;
+  mixed.table = "r";
+  mixed.column = "price";
+  mixed.low = KeyScalar::I64(-7);
+  mixed.high = KeyScalar::F64(1e18);
+  const CountRangeReq m = Roundtrip(mixed);
+  EXPECT_FALSE(m.low.is_f64());
+  EXPECT_EQ(m.low.i, -7);
+  EXPECT_TRUE(m.high == KeyScalar::F64(1e18));
+
+  // f64 sum results: -0.0 and +inf keep their exact bit patterns.
+  SumResult r;
+  r.sum = KeyScalar::F64(-0.0);
+  EXPECT_TRUE(Roundtrip(r).sum == KeyScalar::F64(-0.0));
+  r.sum = KeyScalar::F64(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(Roundtrip(r).sum ==
+              KeyScalar::F64(std::numeric_limits<double>::infinity()));
+  ProjectSumResult pr;
+  pr.sum = KeyScalar::F64(1234.5625);
+  EXPECT_TRUE(Roundtrip(pr).sum == KeyScalar::F64(1234.5625));
+
+  // f64 update values.
+  InsertReq ins;
+  ins.session_id = 1;
+  ins.table = "r";
+  ins.column = "price";
+  ins.value = KeyScalar::F64(2.5);
+  EXPECT_TRUE(Roundtrip(ins).value == KeyScalar::F64(2.5));
+  DeleteReq del;
+  del.session_id = 1;
+  del.table = "r";
+  del.column = "price";
+  del.value = KeyScalar::F64(-2.5);
+  EXPECT_TRUE(Roundtrip(del).value == KeyScalar::F64(-2.5));
+}
+
+TEST(Protocol, ScalarKindTagBeyondOneRejected) {
+  CountRangeReq req;
+  req.session_id = 1;
+  req.table = "r";
+  req.column = "a";
+  req.low = 1;
+  req.high = 2;
+  std::vector<uint8_t> bytes = EncodeMessage(1, req);
+  // Payload layout: u64 session, u16+1 "r", u16+1 "a", then low's kind
+  // tag byte.
+  const size_t tag_off = kFrameHeaderBytes + 8 + (2 + 1) + (2 + 1);
+  ASSERT_EQ(bytes[tag_off], 0u);  // i64 kind
+  bytes[tag_off] = 2;             // unknown scalar kind
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);  // framing itself is intact
+  CountRangeReq out;
+  EXPECT_FALSE(DecodeMessage(f, &out));  // the scalar decoder rejects it
+}
+
+TEST(Protocol, TruncatedScalarPayloadRejected) {
+  // A frame whose payload ends mid-scalar (kind tag present, payload
+  // bytes short) must reject, not read past the end.
+  WireWriter w;
+  w.U8(1);          // f64 kind
+  w.U32(0xDEAD);    // only 4 of the 8 payload bytes
+  Frame f;
+  f.type = MsgType::kSumResult;
+  f.request_id = 1;
+  f.payload = w.Take();
+  SumResult out;
+  EXPECT_FALSE(DecodeMessage(f, &out));
 }
 
 TEST(Protocol, TruncatedFramesNeedMore) {

@@ -21,6 +21,7 @@
 #include "server/client.h"
 #include "server/server.h"
 #include "test_support.h"
+#include "workload/workload.h"
 
 namespace holix::net {
 namespace {
@@ -164,6 +165,54 @@ TEST(Server, ProjectSumAndUpdatesOverTheWire) {
   EXPECT_TRUE(client.Delete(sid, "r", "a", band + 5));
   EXPECT_FALSE(client.Delete(sid, "r", "a", band + 5));
   EXPECT_EQ(client.CountRange(sid, "r", "a", band, band + 10), 0u);
+  server.Stop();
+}
+
+TEST(Server, DoubleColumnTypedScalarsOverTheWire) {
+  // A double attribute served over loopback: f64 bounds select exactly,
+  // the sum comes back as a genuine double scalar, and the NaN/-0.0/+inf
+  // keys behave like the in-process facade.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Database db(SmallDbOptions());
+  const std::vector<double> prices =
+      GenerateUniformDoubleColumn(20000, kDomain, 6);
+  db.LoadColumn<double>("r", "price", prices);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Session inproc = db.OpenSession();
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    const double lo = static_cast<double>(rng.Below(kDomain)) + 0.25;
+    const double hi = lo + 1.0 + static_cast<double>(rng.Below(kDomain / 4));
+    ASSERT_EQ(client.CountRangeF64(sid, "r", "price", lo, hi),
+              inproc.CountRangeF64("r", "price", lo, hi))
+        << "query " << i;
+  }
+  // The sum travels as an f64 scalar and matches in-process bit-for-bit
+  // (same engine, same physical order).
+  const KeyScalar wire_sum = client.SumRangeScalar(
+      sid, "r", "price", KeyScalar::F64(100.5), KeyScalar::F64(90000.5));
+  ASSERT_TRUE(wire_sum.is_f64());
+  EXPECT_EQ(wire_sum.d, inproc.SumRangeF64("r", "price", 100.5, 90000.5));
+
+  // Special keys over the wire: insert NaN and +inf, count them through
+  // the closed upgrade at the NaN key, then delete them.
+  client.InsertF64(sid, "r", "price", nan);
+  client.InsertF64(sid, "r", "price", kInf);
+  EXPECT_EQ(client.CountRangeF64(sid, "r", "price", kInf, nan), 2u);
+  EXPECT_EQ(client.CountRangeF64(sid, "r", "price", nan, nan), 1u);
+  EXPECT_TRUE(client.DeleteF64(sid, "r", "price", nan));
+  EXPECT_TRUE(client.DeleteF64(sid, "r", "price", kInf));
+  EXPECT_EQ(client.CountRangeF64(sid, "r", "price", kInf, nan), 0u);
+
+  // int64 bounds against the double column clamp exactly too.
+  EXPECT_EQ(client.CountRange(sid, "r", "price", 100, 90000),
+            inproc.CountRange("r", "price", 100, 90000));
   server.Stop();
 }
 

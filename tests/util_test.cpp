@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <set>
 #include <thread>
 #include <vector>
@@ -67,6 +69,119 @@ TEST(Rng, NextDoubleInUnitInterval) {
     const double d = rng.NextDouble();
     ASSERT_GE(d, 0.0);
     ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(KeyTraits, IntegerRanksPreserveOrderAcrossTheWholeDomain) {
+  using KT = KeyTraits<int64_t>;
+  const int64_t samples[] = {std::numeric_limits<int64_t>::min(), -5, -1, 0,
+                             1, 42, std::numeric_limits<int64_t>::max()};
+  for (size_t i = 0; i + 1 < std::size(samples); ++i) {
+    EXPECT_LT(KT::ToRank(samples[i]), KT::ToRank(samples[i + 1]));
+    EXPECT_EQ(KT::FromRank(KT::ToRank(samples[i])), samples[i]);
+  }
+  EXPECT_EQ(KT::Next(41), 42);
+  EXPECT_TRUE(KT::IsHighest(std::numeric_limits<int64_t>::max()));
+}
+
+TEST(KeyTraits, DoubleTotalOrderPinsSpecialKeys) {
+  using KT = KeyTraits<double>;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double dmax = std::numeric_limits<double>::max();
+
+  // -inf < finite < +inf < NaN; -0.0 == +0.0; every NaN is one key.
+  EXPECT_TRUE(KT::Less(-kInf, -dmax));
+  EXPECT_TRUE(KT::Less(-1.0, -0.0));
+  EXPECT_FALSE(KT::Less(-0.0, 0.0));
+  EXPECT_TRUE(KT::Eq(-0.0, 0.0));
+  EXPECT_EQ(KT::ToRank(-0.0), KT::ToRank(0.0));
+  EXPECT_TRUE(KT::Less(dmax, kInf));
+  EXPECT_TRUE(KT::Less(kInf, nan));
+  EXPECT_TRUE(KT::Eq(nan, std::nan("0x7")));
+  EXPECT_TRUE(KT::IsHighest(nan));
+  EXPECT_EQ(KT::Lowest(), -kInf);
+
+  // Rank roundtrips and order preservation over representative keys.
+  const double keys[] = {-kInf, -dmax, -1.5, -0.0, 1e-300, 2.5, dmax, kInf};
+  for (size_t i = 0; i + 1 < std::size(keys); ++i) {
+    EXPECT_LT(KT::ToRank(keys[i]), KT::ToRank(keys[i + 1])) << keys[i];
+    EXPECT_EQ(KT::FromRank(KT::ToRank(keys[i])), KT::Canonical(keys[i]));
+  }
+
+  // Successors: next ulp for finite keys, then +inf, then the NaN key.
+  EXPECT_EQ(KT::Next(1.0), std::nextafter(1.0, kInf));
+  EXPECT_EQ(KT::Next(dmax), kInf);
+  EXPECT_TRUE(std::isnan(KT::Next(kInf)));
+}
+
+TEST(Rng, SamplePivotBetweenIntegerRanges) {
+  Rng rng(11);
+  // The whole-of-int64 domain must not overflow; results lie in (lo, hi].
+  for (int i = 0; i < 200; ++i) {
+    const int64_t p = SamplePivotBetween<int64_t>(
+        rng, std::numeric_limits<int64_t>::min(),
+        std::numeric_limits<int64_t>::max());
+    ASSERT_GT(p, std::numeric_limits<int64_t>::min());
+  }
+  // A unit-width range always yields hi (the only member of (lo, hi]).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(SamplePivotBetween<int32_t>(rng, 5, 6), 6);
+  }
+  // Mean of a symmetric range is near the midpoint (edge-bias check).
+  double sum = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(SamplePivotBetween<int64_t>(rng, -1000, 1000));
+  }
+  EXPECT_NEAR(sum / n, 0.0, 50.0);
+}
+
+TEST(Rng, SamplePivotBetweenDoubleRanges) {
+  using KT = KeyTraits<double>;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double dmax = std::numeric_limits<double>::max();
+  Rng rng(12);
+
+  // Value-space uniformity on [0, 1]: the mean sits near 0.5. (Rank-space
+  // sampling would put half of all pivots below ~1e-154 — mean near 0 —
+  // which is exactly the bias this checks against.)
+  double sum = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double p = SamplePivotBetween<double>(rng, 0.0, 1.0);
+    ASSERT_GT(p, 0.0);
+    ASSERT_LE(p, 1.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.05);
+
+  // No collapse onto lo at the edges: adjacent representables always
+  // yield hi, never lo.
+  const double lo = 1.0;
+  const double hi = std::nextafter(1.0, 2.0);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_EQ(SamplePivotBetween<double>(rng, lo, hi), hi);
+  }
+
+  // The span -DBL_MAX..DBL_MAX overflows a naive (hi - lo); pivots must
+  // stay finite and inside (lo, hi].
+  for (int i = 0; i < 200; ++i) {
+    const double p = SamplePivotBetween<double>(rng, -dmax, dmax);
+    ASSERT_TRUE(KT::Less(-dmax, p));
+    ASSERT_FALSE(KT::Less(dmax, p));
+  }
+
+  // Non-finite endpoints fall back to exact rank-space sampling.
+  for (int i = 0; i < 100; ++i) {
+    const double p = SamplePivotBetween<double>(rng, 0.0, kInf);
+    ASSERT_TRUE(KT::Less(0.0, p));
+    ASSERT_FALSE(KT::Less(kInf, p));
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double p =
+        SamplePivotBetween<double>(rng, -kInf, KT::Highest());
+    ASSERT_TRUE(KT::Less(-kInf, p));
   }
 }
 
