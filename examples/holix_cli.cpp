@@ -11,7 +11,14 @@
 ///   select <table> <column> <low> <high>
 ///   insert <table> <column> <value>
 ///   delete <table> <column> <value>
+///   query  <table> <col> <lo> <hi> [and <col> <lo> <hi>]...
+///          [count] [sum <col>] [psum <col>] [rowids]
 ///   help
+///
+/// `query` is the protocol-v3 declarative form: a conjunction of range
+/// predicates (each one cracks its own index server-side) answered with
+/// any mix of count / per-column sums / rowids in one round trip; with no
+/// result keyword it defaults to `count`.
 ///
 /// Bounds and values are typed: a token that parses as a plain integer is
 /// sent as an int64 scalar, anything else ("2.5", "1e9", "inf", "nan") as
@@ -65,7 +72,49 @@ void PrintHelp() {
       "  select <table> <column> <low> <high>   qualifying rowids\n"
       "  insert <table> <column> <value>\n"
       "  delete <table> <column> <value>\n"
+      "  query  <table> <col> <lo> <hi> [and <col> <lo> <hi>]...\n"
+      "         [count] [sum <col>] [psum <col>] [rowids]\n"
+      "         multi-predicate conjunction (default result: count)\n"
       "  help | quit\n");
+}
+
+/// Parses the `query` command tail into wire predicates + result specs.
+/// Grammar: triples of <col> <lo> <hi> (optionally separated by "and")
+/// until a result keyword; then any mix of count / sum <col> /
+/// psum <col> / rowids.
+bool ParseQueryCommand(std::istringstream& in,
+                       std::vector<holix::net::QueryPredicateWire>* preds,
+                       std::vector<holix::net::QueryResultSpecWire>* results) {
+  std::string tok;
+  bool in_results = false;
+  while (in >> tok) {
+    if (tok == "and") continue;
+    if (tok == "count") {
+      in_results = true;
+      results->push_back({0, ""});
+    } else if (tok == "sum" || tok == "psum") {
+      in_results = true;
+      std::string col;
+      if (!(in >> col)) return false;
+      results->push_back({static_cast<uint8_t>(tok == "sum" ? 1 : 3), col});
+    } else if (tok == "rowids") {
+      in_results = true;
+      results->push_back({2, ""});
+    } else {
+      if (in_results) return false;  // predicate after a result keyword
+      holix::net::QueryPredicateWire p;
+      p.column = tok;
+      std::string lo_tok, hi_tok;
+      if (!(in >> lo_tok >> hi_tok) || !ParseScalar(lo_tok, &p.low) ||
+          !ParseScalar(hi_tok, &p.high)) {
+        return false;
+      }
+      preds->push_back(std::move(p));
+    }
+  }
+  if (preds->empty()) return false;
+  if (results->empty()) results->push_back({0, ""});  // default: count
+  return true;
 }
 
 }  // namespace
@@ -141,6 +190,29 @@ int main(int argc, char** argv) {
             std::printf(" %llu", static_cast<unsigned long long>(rowids[i]));
           }
           std::printf(rowids.size() > 8 ? " ...\n" : "\n");
+        }
+      } else if (cmd == "query") {
+        std::string table;
+        std::vector<holix::net::QueryPredicateWire> preds;
+        std::vector<holix::net::QueryResultSpecWire> results;
+        if (!(in >> table) || !ParseQueryCommand(in, &preds, &results)) {
+          std::printf(
+              "usage: query <table> <col> <lo> <hi> [and <col> <lo> <hi>]..."
+              " [count] [sum <col>] [psum <col>] [rowids]\n");
+          continue;
+        }
+        const auto res = client.ExecuteQuery(session, table, preds, results);
+        for (size_t i = 0; i < results.size() && i < res.values.size(); ++i) {
+          if (results[i].kind == 2) {
+            std::printf("%zu rowids", res.rowids.size());
+            for (size_t j = 0; j < res.rowids.size() && j < 8; ++j) {
+              std::printf(" %llu",
+                          static_cast<unsigned long long>(res.rowids[j]));
+            }
+            std::printf(res.rowids.size() > 8 ? " ...\n" : "\n");
+          } else {
+            PrintScalar(res.values[i]);
+          }
         }
       } else if (cmd == "psum") {
         std::string table, where_col, proj_col, lo_tok, hi_tok;

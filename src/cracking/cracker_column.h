@@ -368,6 +368,32 @@ class CrackerColumn {
                      pending_.TakeDeletesAtLeast(low));
   }
 
+  /// Piece-resolution cardinality estimate for [low, high) — or
+  /// [low, high] with \p closed_high — used by the multi-predicate planner
+  /// to order conjuncts by selectivity. Never cracks and never merges
+  /// pending updates: it reads the existing boundary tree only, returning
+  /// the span from the start of the piece containing \p low to the end of
+  /// the piece containing \p high (an upper bound that tightens as the
+  /// index refines; exact once both bounds are boundaries).
+  size_t EstimateRange(T low, T high, bool closed_high = false) const {
+    ReadGuard column_guard(column_latch_);
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
+    const size_t n = size();
+    if (n == 0) return 0;
+    const PieceRef<T> lo_piece = index_.FindPiece(low, n);
+    const size_t begin = lo_piece.begin;
+    size_t end;
+    if (closed_high && KeyTraits<T>::IsHighest(high)) {
+      end = n;  // the closed tail runs to the end of the column
+    } else {
+      const PieceRef<T> hi_piece = index_.FindPiece(high, n);
+      // An exact boundary at the exclusive high makes the estimate exact
+      // on that side; a closed high may extend into the next piece.
+      end = (hi_piece.exact && !closed_high) ? hi_piece.begin : hi_piece.end;
+    }
+    return end > begin ? end - begin : 0;
+  }
+
   /// Suggests a refinement pivot inside the biggest (or smallest) piece.
   /// This is the O(#pieces) bookkeeping scan the paper's "Index
   /// Refinement" discussion warns about; exposed so the pivot-policy

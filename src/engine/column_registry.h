@@ -60,6 +60,14 @@ struct TypedColumnRuntime {
 
   /// Sorted projection; null until offline/online indexing builds it.
   std::atomic<std::shared_ptr<SortedIndex<T>>> sorted{};
+
+  /// Cached [min, max] of the base column, computed lazily (one O(N) pass
+  /// under the entry's build_mu) for selectivity interpolation on columns
+  /// that have no index yet. Read domain_min/domain_max only after an
+  /// acquire-load of domain_ready observes true.
+  std::atomic<bool> domain_ready{false};
+  T domain_min{};
+  T domain_max{};
 };
 
 /// One registered attribute. Stable in memory from LoadColumn until the

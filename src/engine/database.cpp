@@ -90,33 +90,52 @@ Session Database::OpenSession(SessionOptions options) {
   return Session(this, id, seed);
 }
 
-// --- Scalar core ------------------------------------------------------------
+// --- Declarative core -------------------------------------------------------
+
+QueryResult Database::Execute(const QuerySpec& spec,
+                              const QueryContext& qctx) {
+  SlotLease lease(slot_monitor_, options_.user_threads);
+  return executor_->Execute(spec, qctx);
+}
+
+// --- Scalar shims (one-predicate QuerySpecs) --------------------------------
 
 size_t Database::CountRangeScalar(const ColumnHandle& column, KeyScalar low,
                                   KeyScalar high, const QueryContext& qctx) {
-  SlotLease lease(slot_monitor_, options_.user_threads);
-  return executor_->CountRange(column, low, high, qctx);
+  return static_cast<size_t>(
+      Execute(QuerySpec::Single(column, low, high,
+                                {ResultRequest::kCount, {}}),
+              qctx)
+          .values[0]
+          .i);
 }
 
 KeyScalar Database::SumRangeScalar(const ColumnHandle& column, KeyScalar low,
                                    KeyScalar high, const QueryContext& qctx) {
-  SlotLease lease(slot_monitor_, options_.user_threads);
-  return executor_->SumRange(column, low, high, qctx);
+  return Execute(QuerySpec::Single(column, low, high,
+                                   {ResultRequest::kSum, column}),
+                 qctx)
+      .values[0];
 }
 
 PositionList Database::SelectRowIdsScalar(const ColumnHandle& column,
                                           KeyScalar low, KeyScalar high,
                                           const QueryContext& qctx) {
-  SlotLease lease(slot_monitor_, options_.user_threads);
-  return executor_->SelectRowIds(column, low, high, qctx);
+  return std::move(Execute(QuerySpec::Single(column, low, high,
+                                             {ResultRequest::kRowIds, {}}),
+                           qctx)
+                       .rowids);
 }
 
 KeyScalar Database::ProjectSumScalar(const ColumnHandle& where_column,
                                      const ColumnHandle& project_column,
                                      KeyScalar low, KeyScalar high,
                                      const QueryContext& qctx) {
-  SlotLease lease(slot_monitor_, options_.user_threads);
-  return executor_->ProjectSum(where_column, project_column, low, high, qctx);
+  return Execute(QuerySpec::Single(where_column, low, high,
+                                   {ResultRequest::kProjectSum,
+                                    project_column}),
+                 qctx)
+      .values[0];
 }
 
 RowId Database::InsertScalar(const ColumnHandle& column, KeyScalar value,

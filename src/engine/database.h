@@ -95,6 +95,18 @@ class Database {
   /// Opens a per-client session (handle cache, private RNG, async path).
   Session OpenSession(SessionOptions options = {});
 
+  // --- Declarative query API (query_spec.h) ------------------------------
+  //
+  // The one entry every read reduces to: a QuerySpec carries a conjunction
+  // of 1..N range predicates plus the requested results, and the executor
+  // plans the conjunction (most selective predicate first, estimated from
+  // cracker piece boundaries; sorted-positional merge or base-column
+  // probes for the rest — every touched predicate column cracks as a side
+  // effect in the adaptive modes). The per-primitive calls below are thin
+  // shims building one-predicate specs.
+
+  QueryResult Execute(const QuerySpec& spec, const QueryContext& qctx = {});
+
   // --- Handle-based scalar query API (the typed core; no global mutex,
   //     no string hashing). Bounds/values are tagged int64-or-double
   //     KeyScalars, exactly what the wire protocol carries. ---------------
@@ -209,6 +221,18 @@ class Database {
   double SumRangeF64(const std::string& table, const std::string& column,
                      double low, double high) {
     return SumRangeF64(Resolve(table, column), low, high);
+  }
+  PositionList SelectRowIdsF64(const std::string& table,
+                               const std::string& column, double low,
+                               double high) {
+    return SelectRowIdsF64(Resolve(table, column), low, high);
+  }
+  double ProjectSumF64(const std::string& table,
+                       const std::string& where_column,
+                       const std::string& project_column, double low,
+                       double high) {
+    return ProjectSumF64(Resolve(table, where_column),
+                         Resolve(table, project_column), low, high);
   }
   RowId InsertF64(const std::string& table, const std::string& column,
                   double value) {

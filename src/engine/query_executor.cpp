@@ -181,6 +181,25 @@ KeyScalar WrapSum(typename KeyTraits<T>::Sum s) {
   }
 }
 
+/// Intersects two ascending rowid lists (sorted-positional merge).
+PositionList SortedIntersect(const PositionList& a, const PositionList& b) {
+  PositionList out;
+  out.reserve(std::min(a.size(), b.size()));
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
 StoreState ToStoreState(ConfigKind kind) {
   switch (kind) {
     case ConfigKind::kActual:
@@ -200,6 +219,51 @@ StoreState ToStoreState(ConfigKind kind) {
 class ExecutorBase : public QueryExecutor {
  public:
   explicit ExecutorBase(const EngineContext& ctx) : ctx_(ctx) {}
+
+  /// The declarative entry point: validate, then either dispatch the
+  /// legacy one-predicate/one-result shape onto the mode-native operator,
+  /// or plan and execute the conjunction (see query_executor.h).
+  QueryResult Execute(const QuerySpec& spec, const QueryContext& qctx) override {
+    if (spec.predicates.empty()) {
+      throw std::invalid_argument("QuerySpec: empty conjunction");
+    }
+    if (spec.results.empty()) {
+      throw std::invalid_argument("QuerySpec: no result requested");
+    }
+    const ColumnEntry& first = Entry(spec.predicates[0].column);
+    for (const RangePredicate& p : spec.predicates) {
+      CheckSameTable(first, Entry(p.column));
+    }
+    for (const ResultSpec& r : spec.results) {
+      if (r.kind == ResultRequest::kSum ||
+          r.kind == ResultRequest::kProjectSum) {
+        if (r.column.entry() == nullptr) {
+          throw std::invalid_argument("QuerySpec: sum request needs a column");
+        }
+        CheckSameTable(first, Entry(r.column));
+      }
+    }
+    if (spec.predicates.size() == 1 && spec.results.size() == 1) {
+      return ExecuteLegacyShape(spec, qctx);
+    }
+    PositionList rows;
+    if (spec.predicates.size() == 1) {
+      const RangePredicate& p = spec.predicates[0];
+      rows = SelectRowIds(p.column, p.low, p.high, qctx);
+      std::sort(rows.begin(), rows.end());
+    } else {
+      rows = SelectConjunction(spec, qctx);  // already ascending
+    }
+    // The materialized path answers over the LOADED base rows only: rows
+    // appended by Insert live in one column's adaptive index and have no
+    // values in the table's other columns, so keeping them would make the
+    // count/rowids disagree with the positional sums computed below (and
+    // with a conjunction's cross-column semantics). Appended rowids sit at
+    // or above the table's base row count, so one bounded erase suffices.
+    const size_t base_rows = BaseRows(Entry(spec.predicates[0].column));
+    while (!rows.empty() && rows.back() >= base_rows) rows.pop_back();
+    return MaterializeResults(spec, std::move(rows));
+  }
 
   /// Default late reconstruction: materialize rowids via the mode's select,
   /// then project positionally through the base column.
@@ -234,10 +298,18 @@ class ExecutorBase : public QueryExecutor {
     return *e;
   }
 
+  /// Number of rows in the entry's loaded base column.
+  static size_t BaseRows(ColumnEntry& e) {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      return e.runtime<T>().base->size();
+    });
+  }
+
   static void CheckSameTable(const ColumnEntry& a, const ColumnEntry& b) {
     if (a.table() != b.table()) {
-      throw std::invalid_argument("ProjectSum across tables: " + a.key() +
-                                  " vs " + b.key());
+      throw std::invalid_argument("query spans tables: " + a.key() + " vs " +
+                                  b.key());
     }
   }
 
@@ -302,6 +374,237 @@ class ExecutorBase : public QueryExecutor {
     return ParallelScanSelect(base.data(), base.size(), b.lo, b.hi,
                               *ctx_.query_pool, ctx_.options->user_threads,
                               b.closed_high);
+  }
+
+  // --- Multi-predicate planning ------------------------------------------
+
+  /// A probed conjunct's estimate must exceed the candidate list by this
+  /// factor before direct base probes beat a sorted-merge intersection
+  /// (probing is O(|candidates|); the merge pays materialize + sort of the
+  /// conjunct's own, possibly huge, qualifying set).
+  static constexpr size_t kProbeFactor = 4;
+
+  /// Picks the most selective conjunct by estimate, drives the mode's
+  /// select with it, then applies the remaining conjuncts cheapest-first.
+  PositionList SelectConjunction(const QuerySpec& spec,
+                                 const QueryContext& qctx) {
+    struct Ranked {
+      const RangePredicate* pred;
+      size_t est;
+    };
+    std::vector<Ranked> order;
+    order.reserve(spec.predicates.size());
+    for (const RangePredicate& p : spec.predicates) {
+      order.push_back({&p, EstimatePredicate(Entry(p.column), p.low, p.high)});
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Ranked& a, const Ranked& b) {
+                       return a.est < b.est;
+                     });
+    PositionList cand = SelectRowIds(order[0].pred->column, order[0].pred->low,
+                                     order[0].pred->high, qctx);
+    std::sort(cand.begin(), cand.end());
+    for (size_t i = 1; i < order.size() && !cand.empty(); ++i) {
+      const RangePredicate& p = *order[i].pred;
+      ColumnEntry& e = Entry(p.column);
+      if (order[i].est >= kProbeFactor * cand.size() && ProbeSafe(e)) {
+        // Low-selectivity conjunct: probing the base value of each
+        // surviving candidate is cheaper than materializing its huge
+        // qualifying set. The index still refines (RefineHint) so the
+        // attribute keeps converging in the adaptive modes.
+        RefineHint(e, p.low, p.high, qctx);
+        FilterByBaseProbe(e, p.low, p.high, &cand);
+      } else {
+        PositionList other = SelectRowIds(p.column, p.low, p.high, qctx);
+        std::sort(other.begin(), other.end());
+        cand = SortedIntersect(cand, other);
+      }
+    }
+    return cand;
+  }
+
+  /// Cardinality estimate of one conjunct: cracker piece boundaries when
+  /// an adaptive index exists, sorted-index binary search when one is
+  /// built, column [min, max] rank interpolation otherwise.
+  size_t EstimatePredicate(ColumnEntry& e, KeyScalar lo, KeyScalar hi) {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> size_t {
+      using T = typename decltype(tag)::type;
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      if (b.empty) return 0;
+      auto& rt = e.runtime<T>();
+      if (auto c = rt.cracker.load(std::memory_order_acquire)) {
+        return c->EstimateRange(b.lo, b.hi, b.closed_high);
+      }
+      if (auto s = rt.sorted.load(std::memory_order_acquire)) {
+        return SortedSelect(*s, b).size();
+      }
+      const size_t n = rt.base->size();
+      if (n == 0) return 0;
+      EnsureDomain<T>(e);
+      // Uniform interpolation over the order-preserving rank space; the
+      // double arithmetic loses ulps, which is irrelevant for ordering
+      // conjuncts by selectivity.
+      using KT = KeyTraits<T>;
+      const double rank_min = static_cast<double>(KT::ToRank(rt.domain_min));
+      const double rank_max = static_cast<double>(KT::ToRank(rt.domain_max));
+      const double span = rank_max - rank_min + 1.0;
+      const double lo_r =
+          std::max(static_cast<double>(KT::ToRank(b.lo)), rank_min);
+      const double hi_r =
+          std::min(static_cast<double>(KT::ToRank(b.hi)) +
+                       (b.closed_high ? 1.0 : 0.0),
+                   rank_max + 1.0);
+      if (hi_r <= lo_r) return 0;
+      const double est = static_cast<double>(n) * (hi_r - lo_r) / span;
+      return est >= static_cast<double>(n) ? n : static_cast<size_t>(est);
+    });
+  }
+
+  /// Caches the base column's [min, max] on first use (selectivity
+  /// interpolation for not-yet-indexed attributes).
+  template <typename T>
+  void EnsureDomain(ColumnEntry& e) {
+    auto& rt = e.runtime<T>();
+    if (rt.domain_ready.load(std::memory_order_acquire)) return;
+    std::lock_guard<std::mutex> lk(e.build_mu);
+    if (rt.domain_ready.load(std::memory_order_relaxed)) return;
+    const std::vector<T>& v = rt.base->values();
+    T mn{}, mx{};
+    if (!v.empty()) {
+      auto [mn_it, mx_it] = std::minmax_element(
+          v.begin(), v.end(),
+          [](T a, T b) { return KeyTraits<T>::Less(a, b); });
+      mn = KeyTraits<T>::Canonical(*mn_it);
+      mx = KeyTraits<T>::Canonical(*mx_it);
+    }
+    rt.domain_min = mn;
+    rt.domain_max = mx;
+    rt.domain_ready.store(true, std::memory_order_release);
+  }
+
+  /// Base-column probes answer a conjunct correctly only while the base
+  /// array is the truth for every live row: a delete (pending or already
+  /// Ripple-merged) removes the row from the adaptive index but not from
+  /// the base, so deleted-from columns must take the merge path.
+  bool ProbeSafe(ColumnEntry& e) {
+    return DispatchIndexableType(e.type(), [&](auto tag) -> bool {
+      using T = typename decltype(tag)::type;
+      auto c = e.runtime<T>().cracker.load(std::memory_order_acquire);
+      if (c == nullptr) return true;  // updates always build a cracker first
+      return c->stats().merged_deletes.load(std::memory_order_relaxed) == 0 &&
+             c->pending().PendingDeletes() == 0;
+    });
+  }
+
+  /// Drops every candidate whose base value misses [lo, hi). Rowids beyond
+  /// the base column (rows appended by Insert) have no value in this
+  /// attribute and never qualify — matching the merge path, which cannot
+  /// find them in this column's index either.
+  void FilterByBaseProbe(ColumnEntry& e, KeyScalar lo, KeyScalar hi,
+                         PositionList* cand) {
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      if (b.empty) {
+        cand->clear();
+        return;
+      }
+      const Column<T>& base = *e.runtime<T>().base;
+      const T* data = base.data();
+      const size_t n = base.size();
+      size_t keep = 0;
+      for (RowId rid : *cand) {
+        if (rid >= n) continue;
+        const T v = data[rid];
+        const bool hit =
+            !KeyTraits<T>::Less(v, b.lo) &&
+            (b.closed_high ? !KeyTraits<T>::Less(b.hi, v)
+                           : KeyTraits<T>::Less(v, b.hi));
+        if (hit) (*cand)[keep++] = rid;
+      }
+      cand->resize(keep);
+    });
+  }
+
+  /// Index-refinement side effect for a conjunct answered by base probes:
+  /// no-op for the scan/sorted strategies; the cracking strategies crack
+  /// the attribute at the query bounds without materializing anything.
+  virtual void RefineHint(ColumnEntry&, KeyScalar, KeyScalar,
+                          const QueryContext&) {}
+
+  /// The one-predicate/one-result shape: exactly the legacy primitive.
+  QueryResult ExecuteLegacyShape(const QuerySpec& spec,
+                                 const QueryContext& qctx) {
+    const RangePredicate& p = spec.predicates[0];
+    const ResultSpec& r = spec.results[0];
+    QueryResult out;
+    switch (r.kind) {
+      case ResultRequest::kCount:
+        out.values.push_back(KeyScalar::I64(static_cast<int64_t>(
+            CountRange(p.column, p.low, p.high, qctx))));
+        break;
+      case ResultRequest::kSum:
+      case ResultRequest::kProjectSum:
+        // Summing the predicate column itself is the mode's SumRange fast
+        // path (cracked modes aggregate in place, pending inserts
+        // included); any other column is §3.1 late reconstruction.
+        out.values.push_back(
+            r.column.entry() == p.column.entry()
+                ? SumRange(p.column, p.low, p.high, qctx)
+                : ProjectSum(p.column, r.column, p.low, p.high, qctx));
+        break;
+      case ResultRequest::kRowIds:
+        out.rowids = SelectRowIds(p.column, p.low, p.high, qctx);
+        out.values.push_back(
+            KeyScalar::I64(static_cast<int64_t>(out.rowids.size())));
+        break;
+    }
+    return out;
+  }
+
+  /// Computes every requested result from the (ascending) qualifying row
+  /// set: one shared pass per aggregate, positionally through the base
+  /// column, so sums are bit-identical across modes and predicate orders.
+  /// Takes the row list by value: it is the terminal consumer, so a
+  /// requested kRowIds result moves it into the answer instead of copying
+  /// a possibly multi-million-entry list.
+  QueryResult MaterializeResults(const QuerySpec& spec, PositionList rows) {
+    QueryResult out;
+    out.values.reserve(spec.results.size());
+    bool want_rowids = false;
+    for (const ResultSpec& r : spec.results) {
+      switch (r.kind) {
+        case ResultRequest::kCount:
+          out.values.push_back(
+              KeyScalar::I64(static_cast<int64_t>(rows.size())));
+          break;
+        case ResultRequest::kRowIds:
+          want_rowids = true;
+          out.values.push_back(
+              KeyScalar::I64(static_cast<int64_t>(rows.size())));
+          break;
+        case ResultRequest::kSum:
+        case ResultRequest::kProjectSum: {
+          ColumnEntry& pe = Entry(r.column);
+          out.values.push_back(
+              DispatchIndexableType(pe.type(), [&](auto tag) -> KeyScalar {
+                using P = typename decltype(tag)::type;
+                const Column<P>& proj = *pe.runtime<P>().base;
+                const size_t n = proj.size();
+                typename KeyTraits<P>::Sum sum = 0;
+                for (RowId rid : rows) {
+                  if (rid < n) {
+                    sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
+                  }
+                }
+                return WrapSum<P>(sum);
+              }));
+          break;
+        }
+      }
+    }
+    if (want_rowids) out.rowids = std::move(rows);
+    return out;
   }
 
   /// Sorts every registered attribute (offline indexing's investment).
@@ -594,6 +897,21 @@ class CrackingExecutor : public ExecutorBase {
   }
 
  protected:
+  /// A probed conjunct still refines its attribute's adaptive index: crack
+  /// at the query bounds (Select without materialization), so repeated
+  /// multi-predicate queries converge on every predicate column — and the
+  /// holistic store keeps seeing the accesses (AfterSelect runs inside
+  /// Select).
+  void RefineHint(ColumnEntry& e, KeyScalar lo, KeyScalar hi,
+                  const QueryContext& qctx) override {
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      const Bounds<T> b = ClampBounds<T>(lo, hi);
+      if (b.empty) return;
+      Select<T>(e, b, qctx, nullptr);
+    });
+  }
+
   /// The crack configuration of one select; overridden by kStochastic.
   virtual CrackConfig QueryCrackConfig(const QueryContext&) const {
     CrackConfig cfg;

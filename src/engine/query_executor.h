@@ -26,6 +26,7 @@
 
 #include "engine/column_registry.h"
 #include "engine/engine_options.h"
+#include "engine/query_spec.h"
 #include "storage/position_list.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -55,6 +56,27 @@ struct QueryContext {
 class QueryExecutor {
  public:
   virtual ~QueryExecutor() = default;
+
+  /// Executes a declarative QuerySpec (see query_spec.h for semantics).
+  ///
+  /// One predicate + one result dispatches straight onto the mode-native
+  /// operator below (the legacy primitives are shims over this). A
+  /// conjunction is *planned*: predicates are ordered by estimated
+  /// selectivity — cracker piece boundaries when an adaptive index exists,
+  /// sorted-index counts when one is built, [min, max] rank interpolation
+  /// otherwise — the most selective predicate drives the mode's select,
+  /// and each remaining conjunct is applied either by sorted-positional
+  /// merge against its own (index-refining) select or, when its estimated
+  /// selectivity is high, by direct value probes of the base column; in
+  /// cracking modes a probed predicate's index is still cracked at the
+  /// query bounds so repetition keeps getting faster on every predicate
+  /// column.
+  ///
+  /// Throws std::invalid_argument for an empty conjunction, an empty
+  /// result list, a sum request without a column, or columns spanning
+  /// several tables.
+  virtual QueryResult Execute(const QuerySpec& spec,
+                              const QueryContext& qctx) = 0;
 
   /// select count(*) where low <= column < high (in the column type's
   /// total order, after clamping the scalar bounds into its domain).

@@ -17,6 +17,10 @@ ColumnHandle Session::Handle(const std::string& table,
   return h;
 }
 
+QueryResult Session::Execute(const QuerySpec& spec) {
+  return db_->Execute(spec, QueryContext{&rng_});
+}
+
 size_t Session::CountRange(const ColumnHandle& column, int64_t low,
                            int64_t high) {
   return db_->CountRange(column, low, high, QueryContext{&rng_});
@@ -117,6 +121,15 @@ std::future<size_t> Session::SubmitCountRange(ColumnHandle column,
         return db->CountRange(column, low, high, QueryContext{});
       });
   std::future<size_t> fut = task->get_future();
+  db_->client_pool().Submit([task] { (*task)(); });
+  return fut;
+}
+
+std::future<QueryResult> Session::SubmitExecute(QuerySpec spec) {
+  Database* db = db_;
+  auto task = std::make_shared<std::packaged_task<QueryResult()>>(
+      [db, spec = std::move(spec)] { return db->Execute(spec); });
+  std::future<QueryResult> fut = task->get_future();
   db_->client_pool().Submit([task] { (*task)(); });
   return fut;
 }

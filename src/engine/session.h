@@ -23,6 +23,7 @@
 
 #include "engine/column_registry.h"
 #include "engine/engine_options.h"
+#include "engine/query_spec.h"
 #include "storage/position_list.h"
 #include "util/rng.h"
 
@@ -43,6 +44,12 @@ class Session {
   /// the same names return the cached handle without consulting the
   /// registry. Throws std::out_of_range when the attribute doesn't exist.
   ColumnHandle Handle(const std::string& table, const std::string& column);
+
+  // --- Declarative query API (query_spec.h) ------------------------------
+
+  /// Executes a QuerySpec with this session's RNG driving stochastic
+  /// pivots. Handles inside the spec come from Handle()/Resolve.
+  QueryResult Execute(const QuerySpec& spec);
 
   // --- Synchronous query API (handle-based hot path) ---------------------
 
@@ -125,6 +132,9 @@ class Session {
   /// The session (and database) must outlive the future's completion.
   std::future<size_t> SubmitCountRange(ColumnHandle column, int64_t low,
                                        int64_t high);
+  /// Async QuerySpec execution (the spec is copied into the task; a pool
+  /// thread uses its thread-local pivot RNG, like every Submit*).
+  std::future<QueryResult> SubmitExecute(QuerySpec spec);
   std::future<int64_t> SubmitSumRange(ColumnHandle column, int64_t low,
                                       int64_t high);
 

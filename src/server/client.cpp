@@ -165,6 +165,35 @@ void HolixClient::CloseSession(uint64_t session_id) {
   (void)Expect<CloseSessionAck>(AwaitFrame(id));
 }
 
+ExecuteQueryResult HolixClient::ExecuteQuery(
+    uint64_t session_id, const std::string& table,
+    const std::vector<QueryPredicateWire>& predicates,
+    const std::vector<QueryResultSpecWire>& results) {
+  return AwaitExecuteQuery(
+      SendExecuteQuery(session_id, table, predicates, results));
+}
+
+uint64_t HolixClient::SendExecuteQuery(
+    uint64_t session_id, const std::string& table,
+    const std::vector<QueryPredicateWire>& predicates,
+    const std::vector<QueryResultSpecWire>& results) {
+  if (predicates.empty() || predicates.size() > kMaxQueryPredicates ||
+      results.empty() || results.size() > kMaxQueryResults) {
+    throw std::invalid_argument(
+        "ExecuteQuery: predicate/result count out of protocol bounds");
+  }
+  ExecuteQueryReq req;
+  req.session_id = session_id;
+  req.table = table;
+  req.predicates = predicates;
+  req.results = results;
+  return SendMessage(req);
+}
+
+ExecuteQueryResult HolixClient::AwaitExecuteQuery(uint64_t request_id) {
+  return Expect<ExecuteQueryResult>(AwaitFrame(request_id));
+}
+
 uint64_t HolixClient::CountRangeScalar(uint64_t session_id,
                                        const std::string& table,
                                        const std::string& column,

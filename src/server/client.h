@@ -45,6 +45,18 @@ class HolixClient {
   uint64_t OpenSession();
   void CloseSession(uint64_t session_id);
 
+  // --- Declarative query API (protocol v3) --------------------------------
+
+  /// Executes a multi-predicate query in one round trip: a conjunction of
+  /// typed range predicates over \p table plus one or more result
+  /// requests (QueryResultSpecWire kinds: 0 count, 1 sum, 2 rowids,
+  /// 3 project-sum). The single-primitive calls below remain as
+  /// conveniences over the deprecated-but-served v2 frames.
+  ExecuteQueryResult ExecuteQuery(
+      uint64_t session_id, const std::string& table,
+      const std::vector<QueryPredicateWire>& predicates,
+      const std::vector<QueryResultSpecWire>& results);
+
   // --- Synchronous query API --------------------------------------------
 
   /// Typed-scalar core: bounds/values travel as tagged scalars, and sum
@@ -117,6 +129,12 @@ class HolixClient {
   int64_t AwaitSum(uint64_t request_id);
   /// The typed form of AwaitSum (f64 carrier for double columns).
   KeyScalar AwaitSumScalar(uint64_t request_id);
+
+  uint64_t SendExecuteQuery(
+      uint64_t session_id, const std::string& table,
+      const std::vector<QueryPredicateWire>& predicates,
+      const std::vector<QueryResultSpecWire>& results);
+  ExecuteQueryResult AwaitExecuteQuery(uint64_t request_id);
 
   /// Responses read but not yet awaited.
   size_t StashedResponses() const { return stash_.size(); }

@@ -160,6 +160,96 @@ bool DeleteResult::Decode(WireReader& r) {
   return true;
 }
 
+void ExecuteQueryReq::Encode(WireWriter& w) const {
+  // Backstop like WireWriter::Str: callers validate earlier (HolixClient
+  // does), but a count that cannot fit its u8 must fail loudly at encode
+  // time, never truncate on the wire.
+  if (predicates.empty() || predicates.size() > kMaxQueryPredicates ||
+      results.empty() || results.size() > kMaxQueryResults) {
+    throw std::length_error(
+        "ExecuteQueryReq: predicate/result count out of protocol bounds");
+  }
+  w.U64(session_id);
+  w.Str(table);
+  w.U8(static_cast<uint8_t>(predicates.size()));
+  for (const QueryPredicateWire& p : predicates) {
+    w.Str(p.column);
+    w.Scalar(p.low);
+    w.Scalar(p.high);
+  }
+  w.U8(static_cast<uint8_t>(results.size()));
+  for (const QueryResultSpecWire& r : results) {
+    w.U8(r.kind);
+    w.Str(r.column);
+  }
+}
+bool ExecuteQueryReq::Decode(WireReader& r) {
+  uint8_t npred = 0;
+  if (!r.U64(&session_id) || !r.Str(&table) || !r.U8(&npred)) return false;
+  // Bounded before the vector grows: an empty conjunction is meaningless
+  // and a lying count cannot reserve anything.
+  if (npred == 0 || npred > kMaxQueryPredicates) return false;
+  predicates.clear();
+  predicates.reserve(npred);
+  for (uint8_t i = 0; i < npred; ++i) {
+    QueryPredicateWire p;
+    if (!r.Str(&p.column) || !r.Scalar(&p.low) || !r.Scalar(&p.high)) {
+      return false;
+    }
+    predicates.push_back(std::move(p));
+  }
+  uint8_t nres = 0;
+  if (!r.U8(&nres)) return false;
+  if (nres == 0 || nres > kMaxQueryResults) return false;
+  results.clear();
+  results.reserve(nres);
+  for (uint8_t i = 0; i < nres; ++i) {
+    QueryResultSpecWire res;
+    if (!r.U8(&res.kind) || !r.Str(&res.column)) return false;
+    if (res.kind > 3) return false;  // unknown result request
+    // Sum kinds (1 = sum, 3 = project-sum) name the summed column; an
+    // empty name can never resolve, so the frame rejects here instead of
+    // bouncing off the registry later.
+    if ((res.kind == 1 || res.kind == 3) && res.column.empty()) return false;
+    results.push_back(std::move(res));
+  }
+  return true;
+}
+
+void ExecuteQueryResult::Encode(WireWriter& w) const {
+  w.U8(static_cast<uint8_t>(values.size()));
+  for (const KeyScalar& v : values) w.Scalar(v);
+  w.U32(static_cast<uint32_t>(rowids.size()));
+  for (uint64_t rid : rowids) w.U64(rid);
+}
+bool ExecuteQueryResult::Decode(WireReader& r) {
+  uint8_t nvals = 0;
+  if (!r.U8(&nvals)) return false;
+  if (nvals == 0 || nvals > kMaxQueryResults) return false;
+  values.clear();
+  values.reserve(nvals);
+  for (uint8_t i = 0; i < nvals; ++i) {
+    KeyScalar v;
+    if (!r.Scalar(&v)) return false;
+    values.push_back(v);
+  }
+  uint32_t n = 0;
+  if (!r.U32(&n)) return false;
+  // Like RowIdsResult: the claimed count must match the bytes actually on
+  // the wire before anything is reserved.
+  if (r.remaining() != static_cast<size_t>(n) * sizeof(uint64_t)) {
+    return false;
+  }
+  rowids.clear();
+  rowids.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t rid = 0;
+    if (!r.U64(&rid)) return false;
+    rowids.push_back(rid);
+  }
+  return true;
+}
+
 void ErrorMsg::Encode(WireWriter& w) const {
   w.U16(static_cast<uint16_t>(code));
   w.Str(message);
@@ -228,6 +318,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kDelete: return "Delete";
     case MsgType::kDeleteResult: return "DeleteResult";
     case MsgType::kError: return "Error";
+    case MsgType::kExecuteQuery: return "ExecuteQuery";
+    case MsgType::kExecuteQueryResult: return "ExecuteQueryResult";
   }
   return "?";
 }

@@ -25,6 +25,21 @@
 /// the wire, and clients can express double predicates (including the NaN
 /// key and the infinities) without loss. A kind tag above 1 rejects the
 /// frame.
+///
+/// Version 3 adds the generic ExecuteQuery frame: one request carries a
+/// conjunction of 1..kMaxQueryPredicates typed range predicates plus
+/// 1..kMaxQueryResults result requests (count / per-column sums /
+/// rowids), so a multi-predicate TPC-H-Q6-shaped query runs in one round
+/// trip and cracks every predicate column server-side. Predicate and
+/// result counts are validated against their caps BEFORE any allocation,
+/// like every other length in the protocol. The per-primitive query
+/// frames below (CountRange/SumRange/ProjectSum/SelectRowIds) are
+/// one-predicate special cases of ExecuteQuery — deprecated-but-served:
+/// a v3 peer may keep sending them and the server answers them (the
+/// in-tree HolixClient conveniences still do), but new protocol features
+/// land on ExecuteQuery alone. The handshake stays strict as with every
+/// version bump: a pre-v3 client is rejected at Hello, so "served" means
+/// served to same-version peers, not cross-version compatibility.
 
 #pragma once
 
@@ -45,14 +60,18 @@ using holix::KeyScalar;
 inline constexpr uint32_t kMagic = 0x484C5850;
 /// Protocol version spoken by this build. Bumped on any wire change.
 /// v2: typed scalars (int64/double) in range bounds, update values and
-/// sum results.
-inline constexpr uint16_t kProtocolVersion = 2;
+/// sum results. v3: the generic multi-predicate ExecuteQuery frame.
+inline constexpr uint16_t kProtocolVersion = 3;
 /// Hard cap on one frame's payload (validated before allocation). Large
 /// enough for a 2M-rowid select result, small enough that a malformed
 /// length can never balloon memory.
 inline constexpr size_t kMaxPayloadBytes = size_t{1} << 24;  // 16 MiB
 /// Hard cap on one wire string (table/column names, error messages).
 inline constexpr size_t kMaxStringBytes = 1024;
+/// Hard cap on an ExecuteQuery conjunction (validated before allocation).
+inline constexpr size_t kMaxQueryPredicates = 16;
+/// Hard cap on an ExecuteQuery result list (validated before allocation).
+inline constexpr size_t kMaxQueryResults = 8;
 /// Bytes of the fixed frame header (len + type + request id).
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8;
 
@@ -65,6 +84,11 @@ enum class MsgType : uint8_t {
   kOpenSessionAck = 4,
   kCloseSession = 5,
   kCloseSessionAck = 6,
+  // The four per-primitive query requests (7/9/11/13) are deprecated in
+  // favour of kExecuteQuery: still decoded and served for v3 peers (the
+  // HolixClient convenience calls keep speaking them), but they express
+  // only one-predicate queries — new protocol features land on
+  // kExecuteQuery alone.
   kCountRange = 7,
   kCountResult = 8,
   kSumRange = 9,
@@ -78,8 +102,11 @@ enum class MsgType : uint8_t {
   kDelete = 17,
   kDeleteResult = 18,
   kError = 19,
+  kExecuteQuery = 20,        ///< v3: declarative multi-predicate query.
+  kExecuteQueryResult = 21,  ///< v3: its typed values + optional rowids.
 };
-inline constexpr uint8_t kMaxMsgType = static_cast<uint8_t>(MsgType::kError);
+inline constexpr uint8_t kMaxMsgType =
+    static_cast<uint8_t>(MsgType::kExecuteQueryResult);
 
 /// Error frame codes.
 enum class ErrorCode : uint16_t {
@@ -342,6 +369,50 @@ struct ErrorMsg {
   static constexpr MsgType kType = MsgType::kError;
   ErrorCode code = ErrorCode::kQueryFailed;
   std::string message;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+/// One wire conjunct of an ExecuteQuery: low <= column < high with typed
+/// scalar bounds (the engine's closed-bound degradation applies at the
+/// order's top, exactly as in the one-predicate range requests).
+struct QueryPredicateWire {
+  std::string column;
+  KeyScalar low;
+  KeyScalar high;
+};
+
+/// One wire result request: kind 0 = count, 1 = sum(column), 2 = rowids,
+/// 3 = project-sum(column) (an alias of sum kept for operator-shape
+/// symmetry). A kind above 3 rejects the frame; sum kinds require a
+/// non-empty column name.
+struct QueryResultSpecWire {
+  uint8_t kind = 0;
+  std::string column;
+};
+
+/// v3 declarative query: a conjunction of 1..kMaxQueryPredicates typed
+/// range predicates over one table plus 1..kMaxQueryResults result
+/// requests. Both counts are validated against their caps — and a zero
+/// count is rejected — before any vector grows.
+struct ExecuteQueryReq {
+  static constexpr MsgType kType = MsgType::kExecuteQuery;
+  uint64_t session_id = 0;
+  std::string table;
+  std::vector<QueryPredicateWire> predicates;
+  std::vector<QueryResultSpecWire> results;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+/// The answer to an ExecuteQuery: one typed scalar per requested result
+/// (counts as i64, sums in the summed column's carrier) plus the rowid
+/// list when rowids were requested (empty otherwise). The u32 rowid count
+/// is validated against the bytes actually present before any reserve.
+struct ExecuteQueryResult {
+  static constexpr MsgType kType = MsgType::kExecuteQueryResult;
+  std::vector<KeyScalar> values;
+  std::vector<uint64_t> rowids;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };

@@ -413,6 +413,46 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
               Send(*conn, id, res);
             };
           });
+    case MsgType::kExecuteQuery:
+      return DispatchQuery<ExecuteQueryReq>(
+          conn, f,
+          [db, conn, id = f.request_id](Session& s, const ExecuteQueryReq& r) {
+            // Resolve every named column on the reader thread (session
+            // handle cache); the engine validates conjunction shape and
+            // same-table membership when the closure runs.
+            QuerySpec spec;
+            spec.predicates.reserve(r.predicates.size());
+            for (const QueryPredicateWire& p : r.predicates) {
+              spec.predicates.push_back(
+                  {s.Handle(r.table, p.column), p.low, p.high});
+            }
+            spec.results.reserve(r.results.size());
+            for (const QueryResultSpecWire& res : r.results) {
+              ResultSpec rs;
+              rs.kind = static_cast<ResultRequest>(res.kind);
+              if (rs.kind == ResultRequest::kSum ||
+                  rs.kind == ResultRequest::kProjectSum) {
+                rs.column = s.Handle(r.table, res.column);
+              }
+              spec.results.push_back(std::move(rs));
+            }
+            return [db, conn, id, spec = std::move(spec)] {
+              QueryResult qr = db->Execute(spec, QueryContext{});
+              ExecuteQueryResult res;
+              res.values = std::move(qr.values);
+              res.rowids = std::move(qr.rowids);  // PositionList is the
+                                                  // same vector type
+              if (res.rowids.size() * sizeof(uint64_t) +
+                      res.values.size() * 9 + 32 >
+                  kMaxPayloadBytes) {
+                SendError(*conn, id, ErrorCode::kQueryFailed,
+                          "result exceeds frame cap: " +
+                              std::to_string(res.rowids.size()) + " rowids");
+                return;
+              }
+              Send(*conn, id, res);
+            };
+          });
     case MsgType::kInsert:
       return DispatchQuery<InsertReq>(
           conn, f, [db, conn, id = f.request_id](Session& s, const InsertReq& r) {

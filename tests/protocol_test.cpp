@@ -369,6 +369,151 @@ TEST(Protocol, MultipleFramesDecodeSequentially) {
   EXPECT_EQ(first + consumed, bytes.size());
 }
 
+TEST(Protocol, RoundtripExecuteQuery) {
+  ExecuteQueryReq req;
+  req.session_id = 77;
+  req.table = "lineitem";
+  req.predicates.push_back({"l_shipdate", KeyScalar::I64(365),
+                            KeyScalar::I64(730)});
+  req.predicates.push_back({"l_discount", KeyScalar::F64(0.05),
+                            KeyScalar::F64(0.07)});
+  req.predicates.push_back(
+      {"l_quantity", KeyScalar::I64(0), KeyScalar::I64(24)});
+  req.results.push_back({0, ""});              // count
+  req.results.push_back({1, "l_extendedprice"});  // sum
+  req.results.push_back({2, ""});              // rowids
+  const ExecuteQueryReq out = Roundtrip(req);
+  EXPECT_EQ(out.session_id, 77u);
+  EXPECT_EQ(out.table, "lineitem");
+  ASSERT_EQ(out.predicates.size(), 3u);
+  EXPECT_EQ(out.predicates[0].column, "l_shipdate");
+  EXPECT_TRUE(out.predicates[0].low == KeyScalar::I64(365));
+  EXPECT_TRUE(out.predicates[1].low == KeyScalar::F64(0.05));
+  EXPECT_TRUE(out.predicates[1].high == KeyScalar::F64(0.07));
+  ASSERT_EQ(out.results.size(), 3u);
+  EXPECT_EQ(out.results[1].kind, 1u);
+  EXPECT_EQ(out.results[1].column, "l_extendedprice");
+
+  ExecuteQueryResult res;
+  res.values.push_back(KeyScalar::I64(3));
+  res.values.push_back(KeyScalar::F64(1234.5));
+  res.values.push_back(KeyScalar::I64(3));
+  res.rowids = {4, 9, 16};
+  const ExecuteQueryResult rt = Roundtrip(res);
+  ASSERT_EQ(rt.values.size(), 3u);
+  EXPECT_TRUE(rt.values[1] == KeyScalar::F64(1234.5));
+  EXPECT_EQ(rt.rowids, (std::vector<uint64_t>{4, 9, 16}));
+}
+
+TEST(Protocol, ExecuteQueryPredicateCountValidatedBeforeAllocation) {
+  // Helper: one encoded single-predicate request we can then corrupt.
+  ExecuteQueryReq req;
+  req.session_id = 1;
+  req.table = "t";
+  req.predicates.push_back({"c", KeyScalar::I64(0), KeyScalar::I64(1)});
+  req.results.push_back({0, ""});
+  std::vector<uint8_t> bytes = EncodeMessage(1, req);
+  // Payload layout: u64 session, u16+1 "t", then the predicate count.
+  const size_t npred_off = kFrameHeaderBytes + 8 + (2 + 1);
+  ASSERT_EQ(bytes[npred_off], 1u);
+
+  auto decode = [](const std::vector<uint8_t>& b) {
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(TryDecodeFrame(b.data(), b.size(), &f, &consumed, &error),
+              DecodeStatus::kFrame);
+    ExecuteQueryReq out;
+    return DecodeMessage(f, &out);
+  };
+
+  // A predicate count above the cap rejects before any vector grows, even
+  // though the payload could never hold 255 predicates.
+  bytes[npred_off] = 255;
+  EXPECT_FALSE(decode(bytes));
+  // An empty conjunction rejects too.
+  bytes[npred_off] = 0;
+  EXPECT_FALSE(decode(bytes));
+  bytes[npred_off] = 1;
+  EXPECT_TRUE(decode(bytes));  // restored: valid again
+}
+
+TEST(Protocol, ExecuteQueryBadKindsRejected) {
+  ExecuteQueryReq req;
+  req.session_id = 1;
+  req.table = "t";
+  req.predicates.push_back({"c", KeyScalar::I64(0), KeyScalar::I64(1)});
+  req.results.push_back({0, ""});
+  {
+    // Scalar kind 2 in a predicate bound poisons the decode.
+    std::vector<uint8_t> bytes = EncodeMessage(1, req);
+    const size_t tag_off = kFrameHeaderBytes + 8 + (2 + 1) + 1 + (2 + 1);
+    ASSERT_EQ(bytes[tag_off], 0u);  // low bound's i64 kind tag
+    bytes[tag_off] = 2;
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed,
+                             &error),
+              DecodeStatus::kFrame);
+    ExecuteQueryReq out;
+    EXPECT_FALSE(DecodeMessage(f, &out));
+  }
+  {
+    // Result kind above 3 rejects.
+    ExecuteQueryReq bad = req;
+    bad.results[0].kind = 4;
+    const std::vector<uint8_t> bytes = EncodeMessage(1, bad);
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed,
+                             &error),
+              DecodeStatus::kFrame);
+    ExecuteQueryReq out;
+    EXPECT_FALSE(DecodeMessage(f, &out));
+  }
+  {
+    // A sum result kind with an empty column name rejects at the frame
+    // layer (it could never resolve server-side).
+    ExecuteQueryReq bad = req;
+    bad.results[0] = {1, ""};
+    const std::vector<uint8_t> bytes = EncodeMessage(1, bad);
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed,
+                             &error),
+              DecodeStatus::kFrame);
+    ExecuteQueryReq out;
+    EXPECT_FALSE(DecodeMessage(f, &out));
+  }
+}
+
+TEST(Protocol, ExecuteQueryResultLyingRowIdCountRejected) {
+  // Same bounded validation as RowIdsResult: the claimed rowid count must
+  // match the bytes actually present before anything is reserved.
+  WireWriter payload;
+  payload.U8(1);                      // one value
+  payload.Scalar(KeyScalar::I64(1));  // the value
+  payload.U32(50000000);              // claims 5e7 rowids
+  payload.U64(1);                     // ...carries one
+  WireWriter frame;
+  frame.U32(static_cast<uint32_t>(payload.bytes().size()));
+  frame.U8(static_cast<uint8_t>(MsgType::kExecuteQueryResult));
+  frame.U64(3);
+  std::vector<uint8_t> bytes = frame.Take();
+  bytes.insert(bytes.end(), payload.bytes().begin(), payload.bytes().end());
+  Frame f;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes.data(), bytes.size(), &f, &consumed, &error),
+            DecodeStatus::kFrame);
+  ExecuteQueryResult out;
+  EXPECT_FALSE(DecodeMessage(f, &out));
+  EXPECT_TRUE(out.rowids.empty());
+}
+
 TEST(Protocol, LittleEndianOnTheWire) {
   // The format is explicitly little-endian: byte 0 of the frame is the low
   // byte of the payload length, and scalar payloads serialize low-first.

@@ -335,6 +335,112 @@ TEST(Server, PipelinedRequestsCompleteOutOfOrderById) {
   server.Stop();
 }
 
+/// A multi-predicate Q6-shaped ExecuteQuery over loopback must be
+/// bit-equal to the same QuerySpec executed in-process: counts, the f64
+/// sum carrier, and the sorted rowid set.
+TEST(Server, MultiPredicateExecuteQueryBitEqualToInProcess) {
+  Database db(SmallDbOptions());
+  const auto a = test::MakeUniform(40000, kDomain, 20);
+  const auto b = test::MakeUniform(40000, kDomain, 21);
+  std::vector<double> d(40000);
+  {
+    Rng rng(22);
+    for (auto& x : d) x = static_cast<double>(rng.Below(kDomain)) * 0.5;
+  }
+  db.LoadColumn("r", "a", a);
+  db.LoadColumn("r", "b", b);
+  db.LoadColumn<double>("r", "d", d);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Session inproc = db.OpenSession();
+  Rng rng(23);
+  for (int i = 0; i < 12; ++i) {
+    const int64_t a_lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t a_hi = a_lo + 1 + static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t b_hi = 1 + static_cast<int64_t>(rng.Below(kDomain));
+    const double d_lo = static_cast<double>(rng.Below(kDomain)) * 0.25;
+    const double d_hi = d_lo + static_cast<double>(rng.Below(kDomain));
+
+    const ExecuteQueryResult wire = client.ExecuteQuery(
+        sid, "r",
+        {{"a", KeyScalar::I64(a_lo), KeyScalar::I64(a_hi)},
+         {"b", KeyScalar::I64(0), KeyScalar::I64(b_hi)},
+         {"d", KeyScalar::F64(d_lo), KeyScalar::F64(d_hi)}},
+        {{0, ""}, {1, "d"}, {2, ""}});
+
+    QuerySpec spec;
+    spec.Where(inproc.Handle("r", "a"), a_lo, a_hi)
+        .Where(inproc.Handle("r", "b"), int64_t{0}, b_hi)
+        .Where(inproc.Handle("r", "d"), d_lo, d_hi)
+        .Count()
+        .Sum(inproc.Handle("r", "d"))
+        .RowIds();
+    const QueryResult local = inproc.Execute(spec);
+
+    ASSERT_EQ(wire.values.size(), 3u);
+    EXPECT_TRUE(wire.values[0] == local.values[0]) << "query " << i;
+    // KeyScalar equality is bit-exact on the f64 carrier.
+    EXPECT_TRUE(wire.values[1] == local.values[1]) << "query " << i;
+    ASSERT_EQ(wire.rowids.size(), local.rowids.size());
+    for (size_t j = 0; j < wire.rowids.size(); ++j) {
+      ASSERT_EQ(wire.rowids[j], local.rowids[j]) << "query " << i;
+    }
+  }
+  client.CloseSession(sid);
+  client.Close();
+  server.Stop();
+}
+
+/// Pipelined ExecuteQuery frames: several multi-predicate queries on the
+/// wire at once, awaited out of order, each bit-equal to in-process.
+TEST(Server, PipelinedExecuteQueryCompletesOutOfOrder) {
+  Database db(SmallDbOptions());
+  const auto a = test::MakeUniform(30000, kDomain, 24);
+  const auto b = test::MakeUniform(30000, kDomain, 25);
+  db.LoadColumn("r", "a", a);
+  db.LoadColumn("r", "b", b);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Session inproc = db.OpenSession();
+  std::vector<uint64_t> ids;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  Rng rng(26);
+  for (int i = 0; i < 12; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(kDomain / 2));
+    ranges.emplace_back(lo, hi);
+    ids.push_back(client.SendExecuteQuery(
+        sid, "r",
+        {{"a", KeyScalar::I64(lo), KeyScalar::I64(hi)},
+         {"b", KeyScalar::I64(100), KeyScalar::I64(kDomain)}},
+        {{0, ""}, {1, "b"}}));
+  }
+  for (size_t i = ids.size(); i-- > 0;) {
+    const ExecuteQueryResult wire = client.AwaitExecuteQuery(ids[i]);
+    QuerySpec spec;
+    spec.Where(inproc.Handle("r", "a"), ranges[i].first, ranges[i].second)
+        .Where(inproc.Handle("r", "b"), int64_t{100}, int64_t{kDomain})
+        .Count()
+        .Sum(inproc.Handle("r", "b"));
+    const QueryResult local = inproc.Execute(spec);
+    ASSERT_EQ(wire.values.size(), 2u);
+    EXPECT_TRUE(wire.values[0] == local.values[0]) << "request " << i;
+    EXPECT_TRUE(wire.values[1] == local.values[1]) << "request " << i;
+  }
+  EXPECT_EQ(client.StashedResponses(), 0u);
+  client.CloseSession(sid);
+  client.Close();
+  server.Stop();
+}
+
 /// The §5.8 experiment shape over sockets: concurrent clients running
 /// mixed reads and inserts; every count must match an in-process session
 /// oracle computed on the same base data, and the insert bands must be
