@@ -8,6 +8,9 @@
 
 #pragma once
 
+#include <sys/resource.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -102,6 +105,24 @@ inline RunResult RunModeF64(const DatabaseOptions& opts, const BenchEnv& env,
   LoadUniformDoubleTable(db, "r", num_attrs, env.rows, env.domain, env.seed);
   const auto names = MakeAttributeNames(num_attrs);
   return RunWorkloadF64(db, "r", names, queries);
+}
+
+/// Raises the soft RLIMIT_NOFILE toward \p want (bounded by the hard
+/// limit). The socket sweeps open >2k fds in one process (client and
+/// server ends both live here), which overruns the common 1024 default.
+/// \return the resulting soft limit.
+inline size_t RaiseFdLimit(size_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return 0;
+  if (rl.rlim_cur < want) {
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max == RLIM_INFINITY
+                          ? want
+                          : std::min<rlim_t>(want, rl.rlim_max);
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) rl = raised;
+  }
+  return rl.rlim_cur == RLIM_INFINITY ? want
+                                      : static_cast<size_t>(rl.rlim_cur);
 }
 
 inline void PrintScaleNote(const BenchEnv& env, size_t num_attrs) {

@@ -1,0 +1,189 @@
+/// \file fig_shared_scan.cpp
+/// \brief Shared-scan coalescing under concurrent socket clients: N
+/// clients hammering range counts on the SAME column should cost far less
+/// than N independent crack/scan passes, because the event-loop server
+/// batches concurrent requests into one Database::CountRangeBatchScalar
+/// pass (union of the bounds cracked once, per-request counts carved out
+/// of a single scan).
+///
+/// The sweep grows the client count with a fixed total query budget and
+/// reports wall seconds with the coalescer ON vs OFF, plus how many
+/// batches the ON run needed (requests/batches is the average batch
+/// size). Total cost must stay sublinear in client count on the ON
+/// column, and both columns must reproduce the in-process checksum
+/// exactly — coalescing is a scheduling optimisation, never a semantic
+/// one.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/timer.h"
+
+using namespace holix;
+using namespace holix::bench;
+
+namespace {
+
+struct SharedScanRun {
+  double seconds = 0;
+  uint64_t checksum = 0;
+  uint64_t batches = 0;
+  uint64_t requests = 0;
+};
+
+/// Drives \p clients pipelined connections (multiplexed over a small
+/// worker pool) through \p queries same-column counts against a fresh
+/// server on \p db with the coalescer toggled by \p shared.
+SharedScanRun RunSharedScanWorkload(Database& db,
+                                    const std::vector<RangeQuery>& queries,
+                                    size_t clients, size_t workers,
+                                    bool shared) {
+  net::ServerOptions sopts;
+  sopts.shared_scans = shared;
+  net::HolixServer server(db, sopts);
+  server.Start();
+  const uint16_t port = server.port();
+
+  struct ConnState {
+    net::HolixClient cli;
+    uint64_t sid = 0;
+    std::deque<uint64_t> window;
+  };
+  std::vector<std::vector<ConnState>> shards(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t lo = w * clients / workers;
+    const size_t hi = (w + 1) * clients / workers;
+    shards[w] = std::vector<ConnState>(hi - lo);
+    for (auto& cs : shards[w]) {
+      cs.cli.Connect("127.0.0.1", port);
+      cs.sid = cs.cli.OpenSession();
+    }
+  }
+
+  constexpr size_t kWindow = 8;
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> checksum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  Timer wall;
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      std::vector<ConnState>& conns = shards[w];
+      uint64_t local = 0;
+      bool exhausted = false;
+      while (!exhausted) {
+        bool sent = false;
+        for (auto& cs : conns) {
+          if (cs.window.size() >= kWindow) {
+            local += cs.cli.AwaitCount(cs.window.front());
+            cs.window.pop_front();
+          }
+          const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= queries.size()) {
+            exhausted = true;
+            break;
+          }
+          const RangeQuery& q = queries[i];
+          cs.window.push_back(
+              cs.cli.SendCountRange(cs.sid, "r", "a0", q.low, q.high));
+          sent = true;
+        }
+        if (!sent) break;
+      }
+      for (auto& cs : conns) {
+        while (!cs.window.empty()) {
+          local += cs.cli.AwaitCount(cs.window.front());
+          cs.window.pop_front();
+        }
+        cs.cli.CloseSession(cs.sid);
+      }
+      checksum.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  SharedScanRun run;
+  run.seconds = wall.ElapsedSeconds();
+  run.checksum = checksum.load(std::memory_order_relaxed);
+  run.batches = server.SharedScanBatches();
+  run.requests = server.SharedScanRequests();
+  server.Stop();
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  const BenchEnv env = ReadEnv(/*rows=*/1u << 21, /*queries=*/1024);
+  PrintScaleNote(env, /*num_attrs=*/1);
+
+  WorkloadSpec spec;
+  spec.num_queries = env.queries;
+  spec.num_attributes = 1;  // every query hits the same column
+  spec.domain = env.domain;
+  spec.pattern = QueryPattern::kRandom;
+  spec.seed = env.seed;
+  const auto queries = GenerateWorkload(spec);
+
+  // In-process oracle checksum (the checksum is a property of the query
+  // set; client count and transport must not change it).
+  uint64_t oracle = 0;
+  {
+    Database db(PlainOptions(ExecMode::kAdaptive, env.cores));
+    LoadUniformTable(db, "r", 1, env.rows, env.domain, env.seed);
+    Session s = db.OpenSession();
+    for (const RangeQuery& q : queries) {
+      oracle += s.CountRange("r", "a0", q.low, q.high);
+    }
+  }
+
+  const size_t workers = std::min<size_t>(8, 2 * env.cores);
+  RaiseFdLimit(2048);  // both socket ends live in this process
+  bool checksums_ok = true;
+  ReportTable t(
+      "Shared scans: same-column counts, coalesced vs independent (s)");
+  t.SetHeader({"clients", "shared", "independent", "batches", "avg batch",
+               "checksum", "match"});
+  for (size_t clients : {size_t{1}, size_t{4}, size_t{16}, size_t{64},
+                         size_t{256}}) {
+    SharedScanRun on{};
+    {
+      Database db(PlainOptions(ExecMode::kAdaptive, env.cores));
+      LoadUniformTable(db, "r", 1, env.rows, env.domain, env.seed);
+      on = RunSharedScanWorkload(db, queries, clients, workers, true);
+    }
+    SharedScanRun off{};
+    {
+      Database db(PlainOptions(ExecMode::kAdaptive, env.cores));
+      LoadUniformTable(db, "r", 1, env.rows, env.domain, env.seed);
+      off = RunSharedScanWorkload(db, queries, clients, workers, false);
+    }
+    const bool match = on.checksum == oracle && off.checksum == oracle;
+    checksums_ok = checksums_ok && match;
+    const double avg_batch =
+        on.batches > 0 ? static_cast<double>(on.requests) /
+                             static_cast<double>(on.batches)
+                       : 0.0;
+    char avg[32];
+    std::snprintf(avg, sizeof(avg), "%.1f", avg_batch);
+    t.AddRow({std::to_string(clients), FormatSeconds(on.seconds),
+              FormatSeconds(off.seconds), std::to_string(on.batches), avg,
+              std::to_string(on.checksum), match ? "yes" : "MISMATCH"});
+  }
+  t.Print();
+  SaveBenchJson(t, "fig_shared_scan");
+
+  std::printf("\n# shared scans batch concurrent same-column counts into "
+              "single crack/scan passes; checksums must match the "
+              "in-process oracle\n");
+  if (!checksums_ok) {
+    std::fprintf(stderr, "# CHECKSUM MISMATCH in shared-scan runs\n");
+    return 1;
+  }
+  return 0;
+}

@@ -4,7 +4,8 @@
 /// cleanly (drains in-flight queries) and exits 0.
 ///
 ///   holix_server [--port N] [--mode adaptive|holistic|...] [--rows N]
-///                [--attrs N] [--threads N] [--seed N]
+///                [--attrs N] [--threads N] [--io-threads N]
+///                [--no-shared-scans] [--seed N]
 ///
 /// `--port 0` (the default) binds an ephemeral port; the chosen port is
 /// printed as `listening on 127.0.0.1:<port>` so scripts (CI's server
@@ -49,6 +50,8 @@ int main(int argc, char** argv) {
   size_t rows = 1u << 18;
   size_t attrs = 4;
   size_t threads = 2;
+  size_t io_threads = 2;
+  bool shared_scans = true;
   uint64_t seed = 1907;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -69,12 +72,17 @@ int main(int argc, char** argv) {
       attrs = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--io-threads") {
+      io_threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--no-shared-scans") {
+      shared_scans = false;
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
     } else {
       std::fprintf(stderr,
                    "usage: holix_server [--port N] [--mode M] [--rows N] "
-                   "[--attrs N] [--threads N] [--seed N]\n");
+                   "[--attrs N] [--threads N] [--io-threads N] "
+                   "[--no-shared-scans] [--seed N]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -96,6 +104,8 @@ int main(int argc, char** argv) {
 
   holix::net::ServerOptions server_opts;
   server_opts.port = port;
+  server_opts.io_threads = io_threads;
+  server_opts.shared_scans = shared_scans;
   holix::net::HolixServer server(db, server_opts);
   server.Start();
   std::printf("listening on 127.0.0.1:%u\n", server.port());

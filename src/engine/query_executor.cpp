@@ -254,14 +254,13 @@ class ExecutorBase : public QueryExecutor {
     } else {
       rows = SelectConjunction(spec, qctx);  // already ascending
     }
-    // The materialized path answers over the LOADED base rows only: rows
-    // appended by Insert live in one column's adaptive index and have no
-    // values in the table's other columns, so keeping them would make the
-    // count/rowids disagree with the positional sums computed below (and
-    // with a conjunction's cross-column semantics). Appended rowids sit at
-    // or above the table's base row count, so one bounded erase suffices.
-    const size_t base_rows = BaseRows(Entry(spec.predicates[0].column));
-    while (!rows.empty() && rows.back() >= base_rows) rows.pop_back();
+    // Rows appended by Insert participate like any other row: their values
+    // live in the per-column pending registry rather than the base arrays,
+    // and every positional path below (probe filters, materialized sums)
+    // consults that registry for rowids at or past the base row count. A
+    // conjunction still excludes a single-column-inserted row naturally —
+    // the row has no value in the other predicate columns, so no index or
+    // registry on those columns can produce its rowid.
     return MaterializeResults(spec, std::move(rows));
   }
 
@@ -276,9 +275,16 @@ class ExecutorBase : public QueryExecutor {
     return DispatchIndexableType(pe.type(), [&](auto tag) -> KeyScalar {
       using P = typename decltype(tag)::type;
       const Column<P>& proj = *pe.runtime<P>().base;
+      const size_t n = proj.size();
       typename KeyTraits<P>::Sum sum = 0;
       for (RowId rid : rows) {
-        sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
+        P v{};
+        if (rid < n) {
+          v = proj[rid];
+        } else if (!AppendedValueFor<P>(pe, rid, &v)) {
+          continue;  // appended on the WHERE column only; no value here
+        }
+        sum += static_cast<typename KeyTraits<P>::Sum>(v);
       }
       return WrapSum<P>(sum);
     });
@@ -304,6 +310,16 @@ class ExecutorBase : public QueryExecutor {
       using T = typename decltype(tag)::type;
       return e.runtime<T>().base->size();
     });
+  }
+
+  /// Value of row \p rid in \p e when the rowid lies beyond the loaded base
+  /// column: appended rows (single-column Insert) keep their values in the
+  /// column's pending registry, which survives Ripple merges. False when
+  /// the row was never inserted into this attribute.
+  template <typename T>
+  static bool AppendedValueFor(ColumnEntry& e, RowId rid, T* out) {
+    auto c = e.runtime<T>().cracker.load(std::memory_order_acquire);
+    return c != nullptr && c->pending().AppendedValue(rid, out);
   }
 
   static void CheckSameTable(const ColumnEntry& a, const ColumnEntry& b) {
@@ -496,10 +512,12 @@ class ExecutorBase : public QueryExecutor {
     });
   }
 
-  /// Drops every candidate whose base value misses [lo, hi). Rowids beyond
-  /// the base column (rows appended by Insert) have no value in this
-  /// attribute and never qualify — matching the merge path, which cannot
-  /// find them in this column's index either.
+  /// Drops every candidate whose value in this attribute misses [lo, hi).
+  /// Rowids beyond the base column (rows appended by Insert) resolve
+  /// through the pending registry — a row inserted into this attribute
+  /// qualifies on its inserted value, matching the merge path, which finds
+  /// it through the column's adaptive index; a row never inserted here has
+  /// no value and is dropped.
   void FilterByBaseProbe(ColumnEntry& e, KeyScalar lo, KeyScalar hi,
                          PositionList* cand) {
     DispatchIndexableType(e.type(), [&](auto tag) {
@@ -514,8 +532,12 @@ class ExecutorBase : public QueryExecutor {
       const size_t n = base.size();
       size_t keep = 0;
       for (RowId rid : *cand) {
-        if (rid >= n) continue;
-        const T v = data[rid];
+        T v{};
+        if (rid < n) {
+          v = data[rid];
+        } else if (!AppendedValueFor<T>(e, rid, &v)) {
+          continue;
+        }
         const bool hit =
             !KeyTraits<T>::Less(v, b.lo) &&
             (b.closed_high ? !KeyTraits<T>::Less(b.hi, v)
@@ -593,9 +615,13 @@ class ExecutorBase : public QueryExecutor {
                 const size_t n = proj.size();
                 typename KeyTraits<P>::Sum sum = 0;
                 for (RowId rid : rows) {
+                  P v{};
                   if (rid < n) {
-                    sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
+                    v = proj[rid];
+                  } else if (!AppendedValueFor<P>(pe, rid, &v)) {
+                    continue;  // row was never inserted into this attribute
                   }
+                  sum += static_cast<typename KeyTraits<P>::Sum>(v);
                 }
                 return WrapSum<P>(sum);
               }));
@@ -656,6 +682,39 @@ class ScanExecutor : public ExecutorBase {
       const Bounds<T> b = ClampBounds<T>(lo, hi);
       return b.empty ? PositionList{} : ScanSelect<T>(e, b);
     });
+  }
+
+  /// The literal shared scan: one sequential read of the base column
+  /// evaluates every request's bounds, so N concurrent counts cost one
+  /// pass of memory bandwidth instead of N.
+  std::vector<uint64_t> CountRangeBatch(
+      const ColumnHandle& h,
+      const std::vector<std::pair<KeyScalar, KeyScalar>>& ranges,
+      const QueryContext&) override {
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(
+        e.type(), [&](auto tag) -> std::vector<uint64_t> {
+          using T = typename decltype(tag)::type;
+          std::vector<Bounds<T>> bs;
+          bs.reserve(ranges.size());
+          for (const auto& [lo, hi] : ranges) bs.push_back(ClampBounds<T>(lo, hi));
+          const Column<T>& base = *e.runtime<T>().base;
+          const T* data = base.data();
+          std::vector<uint64_t> counts(ranges.size(), 0);
+          for (size_t i = 0; i < base.size(); ++i) {
+            const T v = data[i];
+            for (size_t k = 0; k < bs.size(); ++k) {
+              const Bounds<T>& b = bs[k];
+              if (b.empty) continue;
+              const bool hit =
+                  !KeyTraits<T>::Less(v, b.lo) &&
+                  (b.closed_high ? !KeyTraits<T>::Less(b.hi, v)
+                                 : KeyTraits<T>::Less(v, b.hi));
+              if (hit) ++counts[k];
+            }
+          }
+          return counts;
+        });
   }
 };
 
@@ -834,13 +893,79 @@ class CrackingExecutor : public ExecutorBase {
         std::shared_ptr<CrackerColumn<W>> cracker;
         const PositionRange r = Select<W>(we, b, qctx, &cracker);
         const Column<P>& proj = *pe.runtime<P>().base;
+        const size_t n = proj.size();
         typename KeyTraits<P>::Sum sum = 0;
         cracker->ScanRange(r, [&](W, RowId rid) {
-          sum += static_cast<typename KeyTraits<P>::Sum>(proj[rid]);
+          P v{};
+          if (rid < n) {
+            v = proj[rid];
+          } else if (!AppendedValueFor<P>(pe, rid, &v)) {
+            return;  // appended on the WHERE column only; no value here
+          }
+          sum += static_cast<typename KeyTraits<P>::Sum>(v);
         });
         return WrapSum<P>(sum);
       });
     });
+  }
+
+  /// Shared scan over an adaptive index: crack the UNION of the requested
+  /// bounds once (one piece-boundary refinement, one pending merge), then
+  /// carve every request's count out of a single scan of the resulting
+  /// position range. Bit-equal to per-request CountRange calls — counting
+  /// is by value, and merging pending rows for the union is merging a
+  /// superset of what each request would have merged.
+  std::vector<uint64_t> CountRangeBatch(
+      const ColumnHandle& h,
+      const std::vector<std::pair<KeyScalar, KeyScalar>>& ranges,
+      const QueryContext& qctx) override {
+    if (ranges.size() < 2) {
+      return QueryExecutor::CountRangeBatch(h, ranges, qctx);
+    }
+    ColumnEntry& e = Entry(h);
+    return DispatchIndexableType(
+        e.type(), [&](auto tag) -> std::vector<uint64_t> {
+          using T = typename decltype(tag)::type;
+          std::vector<Bounds<T>> bs;
+          bs.reserve(ranges.size());
+          Bounds<T> u{};
+          bool any = false;
+          for (const auto& [lo, hi] : ranges) {
+            const Bounds<T> b = ClampBounds<T>(lo, hi);
+            if (!b.empty) {
+              if (!any) {
+                u = b;
+                any = true;
+              } else {
+                if (KeyTraits<T>::Less(b.lo, u.lo)) u.lo = b.lo;
+                // The wider high is the larger value; at a tie the closed
+                // bound covers the open one.
+                if (KeyTraits<T>::Less(u.hi, b.hi) ||
+                    (!KeyTraits<T>::Less(b.hi, u.hi) && b.closed_high)) {
+                  u.hi = b.hi;
+                  u.closed_high = u.closed_high || b.closed_high;
+                }
+              }
+            }
+            bs.push_back(b);
+          }
+          if (!any) return std::vector<uint64_t>(ranges.size(), 0);
+          std::shared_ptr<CrackerColumn<T>> cracker;
+          const PositionRange r = Select<T>(e, u, qctx, &cracker);
+          std::vector<uint64_t> counts(ranges.size(), 0);
+          cracker->ScanRange(r, [&](T v, RowId) {
+            for (size_t k = 0; k < bs.size(); ++k) {
+              const Bounds<T>& b = bs[k];
+              if (b.empty) continue;
+              const bool hit =
+                  !KeyTraits<T>::Less(v, b.lo) &&
+                  (b.closed_high ? !KeyTraits<T>::Less(b.hi, v)
+                                 : KeyTraits<T>::Less(v, b.hi));
+              if (hit) ++counts[k];
+            }
+          });
+          return counts;
+        });
   }
 
   RowId Insert(const ColumnHandle& h, KeyScalar value,
@@ -1102,6 +1227,18 @@ class HolisticExecutor : public CrackingExecutor {
 };
 
 }  // namespace
+
+std::vector<uint64_t> QueryExecutor::CountRangeBatch(
+    const ColumnHandle& column,
+    const std::vector<std::pair<KeyScalar, KeyScalar>>& ranges,
+    const QueryContext& qctx) {
+  std::vector<uint64_t> counts;
+  counts.reserve(ranges.size());
+  for (const auto& [lo, hi] : ranges) {
+    counts.push_back(static_cast<uint64_t>(CountRange(column, lo, hi, qctx)));
+  }
+  return counts;
+}
 
 RowId QueryExecutor::Insert(const ColumnHandle&, KeyScalar,
                             const QueryContext&) {

@@ -24,12 +24,16 @@
 ///    computes each aggregate positionally through the base column in that
 ///    order — so counts, rowids AND double sums are bit-identical across
 ///    all seven execution modes and across predicate orderings.
-///  * The materialized path answers over the LOADED base rows: rows
-///    appended by Insert live only in their own column's adaptive index
-///    (they have no values in the table's other columns), so they are
-///    excluded from the qualifying set — count, rowids and sums always
-///    agree about which rows qualify. Appended rows stay visible to the
-///    legacy one-predicate/one-result primitives.
+///  * Rows appended by a single-column Insert participate on the column
+///    they were inserted into: their values live in that column's pending
+///    registry (which survives Ripple merges), and the positional paths —
+///    probe filters, materialized sums — consult it for rowids at or past
+///    the base row count. A row qualifies iff EVERY predicate column holds
+///    a qualifying value for it, so a conjunction naturally excludes rows
+///    inserted into only one of its predicate columns, while a
+///    single-predicate spec (any result shape) sees them exactly like the
+///    legacy primitives do. Count, rowids and sums always agree about
+///    which rows qualify.
 
 #pragma once
 

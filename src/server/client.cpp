@@ -4,6 +4,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -62,10 +63,30 @@ void HolixClient::Connect(const std::string& host, uint16_t port) {
     throw std::runtime_error("bad host address: " + host);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const std::string err = std::strerror(errno);
-    Close();
-    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
-                             ": " + err);
+    // A signal can interrupt connect() mid-handshake; the connection then
+    // completes (or fails) asynchronously. Retrying connect() would return
+    // EALREADY/EISCONN, so wait for writability and read the real outcome
+    // from SO_ERROR instead.
+    bool recovered = false;
+    if (errno == EINTR) {
+      pollfd pfd{fd_, POLLOUT, 0};
+      while (::poll(&pfd, 1, -1) < 0 && errno == EINTR) {
+      }
+      int soerr = 0;
+      socklen_t slen = sizeof(soerr);
+      if (::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &slen) == 0 &&
+          soerr == 0) {
+        recovered = true;
+      } else {
+        errno = soerr != 0 ? soerr : errno;
+      }
+    }
+    if (!recovered) {
+      const std::string err = std::strerror(errno);
+      Close();
+      throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                               ": " + err);
+    }
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));

@@ -3,54 +3,53 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <future>
 #include <stdexcept>
 #include <utility>
 
 #include "engine/database.h"
+#include "server/shared_scan.h"
 
 namespace holix::net {
 
 namespace {
 
-/// recv(2) the next chunk; returns 0 on orderly shutdown, -1 on error.
-ssize_t RecvSome(int fd, uint8_t* buf, size_t cap) {
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, cap, 0);
-    if (n < 0 && errno == EINTR) continue;
-    return n;
-  }
-}
-
-/// Sends the whole buffer; MSG_NOSIGNAL so a vanished peer yields EPIPE
-/// instead of killing the process.
-bool SendAll(int fd, const uint8_t* data, size_t size) {
-  size_t off = 0;
-  while (off < size) {
-    const ssize_t n = ::send(fd, data + off, size - off, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<size_t>(n);
-  }
-  return true;
-}
+/// epoll user-data tags. Real connections carry their pointer, which can
+/// never collide with these small integers.
+constexpr uint64_t kWakeTag = 0;
+constexpr uint64_t kListenTag = 1;
 
 }  // namespace
 
 HolixServer::HolixServer(Database& db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db), options_(std::move(options)) {
+  if (options_.io_threads == 0) options_.io_threads = 1;
+  if (options_.shared_scans) {
+    coalescer_ = std::make_unique<SharedScanCoalescer>(db_);
+  }
+}
 
 HolixServer::~HolixServer() { Stop(); }
 
+uint64_t HolixServer::SharedScanBatches() const {
+  return coalescer_ != nullptr ? coalescer_->BatchesRun() : 0;
+}
+
+uint64_t HolixServer::SharedScanRequests() const {
+  return coalescer_ != nullptr ? coalescer_->RequestsCoalesced() : 0;
+}
+
 void HolixServer::Start() {
   if (running_.load(std::memory_order_acquire)) return;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
   }
@@ -76,313 +75,643 @@ void HolixServer::Start() {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+
+  loops_.clear();
+  for (size_t i = 0; i < options_.io_threads; ++i) {
+    auto loop = std::make_unique<IoLoop>();
+    loop->index = i;
+    loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wakefd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epfd < 0 || loop->wakefd < 0) {
+      throw std::runtime_error("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    ::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wakefd, &ev);
+    loops_.push_back(std::move(loop));
+  }
+  // The listener lives in loop 0's epoll set; accepted fds fan out
+  // round-robin across all loops.
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kListenTag;
+    ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+  }
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
-  // The acceptor works on its own copy of the fd: Stop() may reset the
-  // member only after joining this thread.
-  const int fd = listen_fd_;
-  acceptor_ = std::thread([this, fd] { AcceptLoop(fd); });
+  for (auto& loop : loops_) {
+    IoLoop* lp = loop.get();
+    lp->th = std::thread([this, lp] { LoopRun(*lp); });
+  }
 }
 
 void HolixServer::Stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
-  // Unblock the acceptor, join it, and only then release the fd (the
-  // acceptor holds its own copy; closing before the join would race).
-  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  if (acceptor_.joinable()) acceptor_.join();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Stop readers: half-close the read side so recv() returns 0; responses
-  // to already-dispatched queries still go out on the write side. The
-  // reader itself drains in-flight work before closing its fd.
-  std::vector<std::shared_ptr<Connection>> conns;
+
+  // 1. Stop accepting. The listener belongs to loop 0's epoll set and
+  //    accept() only ever runs on loop 0, so remove + close it there.
   {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    conns.swap(conns_);
+    std::promise<void> done;
+    auto fut = done.get_future();
+    Post(*loops_[0], [this, &done] {
+      if (listen_fd_ >= 0) {
+        ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+      }
+      done.set_value();
+    });
+    fut.wait();
   }
-  for (const auto& conn : conns) {
-    conn->closing.store(true, std::memory_order_release);
-    conn->flow_cv.notify_all();
-    // write_mu guards fd: the reader nulls it when it finishes on its own.
-    std::lock_guard<std::mutex> lk(conn->write_mu);
-    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RD);
+
+  // 2. Stop decoding everywhere: already-dispatched queries keep running,
+  //    new frames are no longer admitted.
+  for (auto& loop : loops_) {
+    IoLoop* lp = loop.get();
+    std::promise<void> done;
+    auto fut = done.get_future();
+    Post(*lp, [this, lp, &done] {
+      for (auto& [ptr, conn] : lp->conns) {
+        conn->draining = true;
+        UpdateInterest(*lp, *conn);
+      }
+      done.set_value();
+    });
+    fut.wait();
   }
-  for (const auto& conn : conns) {
-    if (conn->reader.joinable()) conn->reader.join();
+
+  // 3. Drain in-flight queries. Pool closures never block on sockets (they
+  //    only park bytes in outboxes), so this always terminates.
+  while (global_in_flight_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // 4. Flush write queues: responses to drained queries still go out. A
+  //    peer that stopped reading is abandoned after the flush deadline.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(options_.drain_flush_seconds));
+  for (;;) {
+    bool all_flushed = true;
+    for (auto& loop : loops_) {
+      IoLoop* lp = loop.get();
+      std::promise<bool> flushed;
+      auto fut = flushed.get_future();
+      Post(*lp, [lp, &flushed] {
+        bool empty = true;
+        for (auto& [ptr, conn] : lp->conns) {
+          std::lock_guard<std::mutex> lk(conn->out_mu);
+          if (!conn->wq.empty() || !conn->outbox.empty()) {
+            empty = false;
+            break;
+          }
+        }
+        flushed.set_value(empty);
+      });
+      if (!fut.get()) all_flushed = false;
+    }
+    if (all_flushed || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // 5. Stop and join the loops, then close everything on this thread.
+  for (auto& loop : loops_) {
+    loop->stop.store(true, std::memory_order_release);
+    Wake(*loop);
+  }
+  for (auto& loop : loops_) {
+    if (loop->th.joinable()) loop->th.join();
+  }
+  for (auto& loop : loops_) {
+    for (auto& [ptr, conn] : loop->conns) {
+      {
+        std::lock_guard<std::mutex> lk(conn->out_mu);
+        conn->closed = true;
+      }
+      if (conn->fd >= 0) {
+        ::close(conn->fd);
+        conn->fd = -1;
+      }
+    }
+    loop->conns.clear();
+    if (loop->epfd >= 0) ::close(loop->epfd);
+    if (loop->wakefd >= 0) ::close(loop->wakefd);
+  }
+  loops_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void HolixServer::Post(IoLoop& loop, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(loop.mu);
+    loop.tasks.push_back(std::move(fn));
+  }
+  Wake(loop);
+}
+
+void HolixServer::Wake(IoLoop& loop) {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop.wakefd, &one, sizeof(one));  // eventfd writes can't short
+}
+
+void HolixServer::NotifyDirty(const std::shared_ptr<Connection>& conn) {
+  IoLoop* loop = conn->loop;
+  {
+    std::lock_guard<std::mutex> lk(loop->mu);
+    loop->dirty.push_back(conn);
+  }
+  Wake(*loop);
+}
+
+void HolixServer::LoopRun(IoLoop& loop) {
+  std::vector<epoll_event> events(128);
+  while (!loop.stop.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(loop.epfd, events.data(),
+                               static_cast<int>(events.size()), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epfd gone — only possible during teardown
+    }
+    for (int i = 0; i < n; ++i) {
+      const epoll_event& ev = events[i];
+      if (ev.data.u64 == kWakeTag) {
+        uint64_t drained;
+        while (::read(loop.wakefd, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      if (ev.data.u64 == kListenTag) {
+        AcceptReady(loop);
+        continue;
+      }
+      auto* ptr = reinterpret_cast<Connection*>(ev.data.u64);
+      auto it = loop.conns.find(ptr);
+      if (it == loop.conns.end()) continue;  // destroyed earlier this round
+      std::shared_ptr<Connection> conn = it->second;
+      if (ev.events & (EPOLLERR | EPOLLHUP)) {
+        DestroyConn(loop, conn);
+        continue;
+      }
+      if (ev.events & (EPOLLIN | EPOLLRDHUP)) {
+        ReadReady(loop, conn);
+        if (loop.conns.find(ptr) == loop.conns.end()) continue;
+      }
+      if (ev.events & EPOLLOUT) {
+        FlushWrites(loop, conn);
+      }
+    }
+    // Cross-thread work: posted tasks, then completions parked by pool
+    // threads (move outbox -> write queue, write, maybe resume decoding).
+    std::vector<std::function<void()>> tasks;
+    std::vector<std::shared_ptr<Connection>> dirty;
+    {
+      std::lock_guard<std::mutex> lk(loop.mu);
+      tasks.swap(loop.tasks);
+      dirty.swap(loop.dirty);
+    }
+    for (auto& t : tasks) t();
+    for (auto& conn : dirty) {
+      if (loop.conns.find(conn.get()) == loop.conns.end()) continue;
+      FlushWrites(loop, conn);
+    }
   }
 }
 
-void HolixServer::AcceptLoop(int listen_fd) {
+void HolixServer::AcceptReady(IoLoop& loop) {
   for (;;) {
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener closed (Stop) or fatal
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // EAGAIN: burst drained (or listener closing)
     }
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
-      return;
+      continue;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // Bounded response writes: without a send timeout, a client that stops
-    // reading would block a pool thread in send() forever and make Stop()'s
-    // in-flight drain wait on it indefinitely.
-    timeval send_timeout{};
-    send_timeout.tv_sec = 10;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
-    ReapFinishedConnections();
+    total_connections_.fetch_add(1, std::memory_order_relaxed);
+    IoLoop& target =
+        *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
+                loops_.size()];
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
-    total_connections_.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> lk(conns_mu_);
-      conns_.push_back(conn);
+    conn->loop = &target;
+    if (&target == &loop) {
+      RegisterConn(target, conn);
+    } else {
+      Post(target, [this, &target, conn] { RegisterConn(target, conn); });
     }
-    conn->reader = std::thread([this, conn] { ReaderLoop(conn); });
   }
 }
 
-void HolixServer::ReapFinishedConnections() {
-  std::vector<std::shared_ptr<Connection>> dead;
-  {
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    auto keep = conns_.begin();
-    for (auto& conn : conns_) {
-      if (conn->finished.load(std::memory_order_acquire)) {
-        dead.push_back(std::move(conn));
-      } else {
-        *keep++ = std::move(conn);
+void HolixServer::RegisterConn(IoLoop& loop,
+                               const std::shared_ptr<Connection>& conn) {
+  conn->events = EPOLLIN | EPOLLRDHUP;
+  epoll_event ev{};
+  ev.events = conn->events;
+  ev.data.u64 = reinterpret_cast<uint64_t>(conn.get());
+  if (::epoll_ctl(loop.epfd, EPOLL_CTL_ADD, conn->fd, &ev) < 0) {
+    ::close(conn->fd);
+    conn->fd = -1;
+    return;
+  }
+  loop.conns.emplace(conn.get(), conn);
+}
+
+void HolixServer::ReadReady(IoLoop& loop,
+                            const std::shared_ptr<Connection>& conn) {
+  uint8_t chunk[64 * 1024];
+  // Bounded rounds per event: level-triggered epoll re-fires when the
+  // kernel buffer still holds data, so one connection cannot starve the
+  // loop.
+  for (int round = 0; round < 4; ++round) {
+    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->rbuf.insert(conn->rbuf.end(), chunk, chunk + n);
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      conn->read_eof = true;  // close once in-flight answers are flushed
+      break;
+    }
+    if (errno == EINTR) {
+      --round;
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    DestroyConn(loop, conn);  // ECONNRESET and friends
+    return;
+  }
+  DecodeFrames(loop, conn);
+  if (loop.conns.find(conn.get()) == loop.conns.end()) return;
+  FlushWrites(loop, conn);
+}
+
+void HolixServer::DecodeFrames(IoLoop& loop,
+                               const std::shared_ptr<Connection>& conn) {
+  size_t off = 0;
+  while (!conn->draining && !conn->close_after_flush) {
+    if (ShouldPause(*conn)) {
+      conn->paused = true;
+      break;
+    }
+    Frame f;
+    size_t consumed = 0;
+    std::string error;
+    const DecodeStatus st =
+        TryDecodeFrame(conn->rbuf.data() + off, conn->rbuf.size() - off, &f,
+                       &consumed, &error);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kMalformed) {
+      EnqueueError(loop, conn, 0, ErrorCode::kMalformedFrame, error);
+      conn->close_after_flush = true;
+      break;
+    }
+    off += consumed;
+    if (!conn->handshaken) {
+      Hello hello;
+      if (f.type != MsgType::kHello || !DecodeMessage(f, &hello)) {
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                     "expected Hello");
+        conn->close_after_flush = true;
+        break;
       }
+      if (hello.magic != kMagic || hello.version != kProtocolVersion) {
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kVersionMismatch,
+                     "server speaks protocol version " +
+                         std::to_string(kProtocolVersion));
+        conn->close_after_flush = true;
+        break;
+      }
+      EnqueueLoop(loop, conn, EncodeMessage(f.request_id, HelloAck{}));
+      conn->handshaken = true;
+      continue;
     }
-    conns_.erase(keep, conns_.end());
+    if (!HandleFrame(loop, conn, f)) {
+      conn->close_after_flush = true;
+      break;
+    }
   }
-  // Joining outside the lock: the readers set `finished` as their last
-  // statement, so these joins return promptly.
-  for (const auto& conn : dead) {
-    if (conn->reader.joinable()) conn->reader.join();
+  if (off > 0) {
+    conn->rbuf.erase(conn->rbuf.begin(),
+                     conn->rbuf.begin() + static_cast<ptrdiff_t>(off));
+  }
+  UpdateInterest(loop, *conn);
+}
+
+bool HolixServer::ShouldPause(Connection& conn) const {
+  size_t in_flight, outbox_bytes;
+  {
+    std::lock_guard<std::mutex> lk(conn.out_mu);
+    in_flight = conn.in_flight;
+    outbox_bytes = conn.outbox_bytes;
+  }
+  return in_flight >= options_.max_in_flight_per_connection ||
+         conn.wq_bytes + outbox_bytes >=
+             options_.max_queued_bytes_per_connection;
+}
+
+void HolixServer::FlushWrites(IoLoop& loop,
+                              const std::shared_ptr<Connection>& conn) {
+  size_t in_flight;
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    for (auto& frame : conn->outbox) {
+      conn->wq_bytes += frame.size();
+      conn->wq.push_back(std::move(frame));
+    }
+    conn->outbox.clear();
+    conn->outbox_bytes = 0;
+    in_flight = conn->in_flight;
+  }
+  while (!conn->wq.empty()) {
+    const std::vector<uint8_t>& front = conn->wq.front();
+    const ssize_t n = ::send(conn->fd, front.data() + conn->wq_off,
+                             front.size() - conn->wq_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      DestroyConn(loop, conn);  // peer gone; pending responses are moot
+      return;
+    }
+    conn->wq_off += static_cast<size_t>(n);
+    if (conn->wq_off == front.size()) {
+      conn->wq_bytes -= front.size();
+      conn->wq.pop_front();
+      conn->wq_off = 0;
+    }
+  }
+  if (conn->wq.empty() && in_flight == 0 &&
+      (conn->close_after_flush || conn->read_eof)) {
+    DestroyConn(loop, conn);
+    return;
+  }
+  // The window may have reopened (responses delivered / in-flight down):
+  // resume decoding whatever already sits in the read buffer.
+  if (conn->paused && !ShouldPause(*conn)) {
+    conn->paused = false;
+    DecodeFrames(loop, conn);
+    if (loop.conns.find(conn.get()) == loop.conns.end()) return;
+  }
+  UpdateInterest(loop, *conn);
+}
+
+void HolixServer::UpdateInterest(IoLoop& loop, Connection& conn) {
+  if (conn.fd < 0) return;
+  uint32_t desired = EPOLLRDHUP;
+  if (!conn.paused && !conn.draining && !conn.read_eof &&
+      !conn.close_after_flush) {
+    desired |= EPOLLIN;
+  }
+  if (!conn.wq.empty()) desired |= EPOLLOUT;
+  if (desired == conn.events) return;
+  epoll_event ev{};
+  ev.events = desired;
+  ev.data.u64 = reinterpret_cast<uint64_t>(&conn);
+  if (::epoll_ctl(loop.epfd, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.events = desired;
   }
 }
 
-bool HolixServer::SendFrame(Connection& conn,
-                            const std::vector<uint8_t>& bytes) {
-  std::lock_guard<std::mutex> lk(conn.write_mu);
-  if (conn.fd < 0) return false;
-  if (SendAll(conn.fd, bytes.data(), bytes.size())) return true;
-  // Write side broken (peer gone, or the send timeout fired on a client
-  // that stopped reading): tear the connection down so the reader stops
-  // decoding and later responses fail fast instead of blocking.
-  ::shutdown(conn.fd, SHUT_RDWR);
-  return false;
+void HolixServer::DestroyConn(IoLoop& loop,
+                              const std::shared_ptr<Connection>& conn) {
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    conn->closed = true;
+  }
+  if (conn->fd >= 0) {
+    ::epoll_ctl(loop.epfd, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  loop.conns.erase(conn.get());
+  // In-flight queries against this connection finish on the pool and see
+  // `closed`; their completions are dropped. The shared_ptr in their
+  // closures keeps the Connection (and its sessions) alive until then.
 }
 
-bool HolixServer::SendError(Connection& conn, uint64_t request_id,
-                            ErrorCode code, const std::string& message) {
+// ---------------------------------------------------------------------------
+// Frame handling and dispatch
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> HolixServer::EncodeError(uint64_t request_id,
+                                              ErrorCode code,
+                                              const std::string& message) {
   ErrorMsg err;
   err.code = code;
   err.message = message.size() > kMaxStringBytes
                     ? message.substr(0, kMaxStringBytes)
                     : message;
-  return Send(conn, request_id, err);
+  return EncodeMessage(request_id, err);
 }
 
-void HolixServer::DrainInFlight(Connection& conn) {
-  std::unique_lock<std::mutex> lk(conn.flow_mu);
-  conn.flow_cv.wait(lk, [&] { return conn.in_flight == 0; });
+void HolixServer::EnqueueLoop(IoLoop& loop,
+                              const std::shared_ptr<Connection>& conn,
+                              std::vector<uint8_t> bytes) {
+  (void)loop;
+  conn->wq_bytes += bytes.size();
+  conn->wq.push_back(std::move(bytes));
+  // No immediate write: DecodeFrames' caller flushes once per readable
+  // event, batching small acks into one send.
 }
 
-void HolixServer::ReaderLoop(const std::shared_ptr<Connection>& conn) {
-  std::vector<uint8_t> acc;
-  uint8_t chunk[64 * 1024];
-  bool handshaken = false;
-  bool fatal = false;
-  while (!fatal) {
-    const ssize_t n = RecvSome(conn->fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // peer closed / Stop() half-closed / error
-    acc.insert(acc.end(), chunk, chunk + n);
-    size_t off = 0;
-    for (;;) {
-      Frame f;
-      size_t consumed = 0;
-      std::string error;
-      const DecodeStatus st =
-          TryDecodeFrame(acc.data() + off, acc.size() - off, &f, &consumed,
-                         &error);
-      if (st == DecodeStatus::kNeedMore) break;
-      if (st == DecodeStatus::kMalformed) {
-        SendError(*conn, 0, ErrorCode::kMalformedFrame, error);
-        fatal = true;
-        break;
-      }
-      off += consumed;
-      if (!handshaken) {
-        Hello hello;
-        if (f.type != MsgType::kHello || !DecodeMessage(f, &hello)) {
-          SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
-                    "expected Hello");
-          fatal = true;
-          break;
-        }
-        if (hello.magic != kMagic || hello.version != kProtocolVersion) {
-          SendError(*conn, f.request_id, ErrorCode::kVersionMismatch,
-                    "server speaks protocol version " +
-                        std::to_string(kProtocolVersion));
-          fatal = true;
-          break;
-        }
-        HelloAck ack;
-        Send(*conn, f.request_id, ack);
-        handshaken = true;
-        continue;
-      }
-      if (!HandleFrame(conn, f)) {
-        fatal = true;
-        break;
-      }
-    }
-    acc.erase(acc.begin(), acc.begin() + static_cast<ptrdiff_t>(off));
-  }
-  // Drain before closing: in-flight queries still write their responses.
-  conn->closing.store(true, std::memory_order_release);
-  DrainInFlight(*conn);
+void HolixServer::EnqueueError(IoLoop& loop,
+                               const std::shared_ptr<Connection>& conn,
+                               uint64_t request_id, ErrorCode code,
+                               const std::string& message) {
+  EnqueueLoop(loop, conn, EncodeError(request_id, code, message));
+}
+
+void HolixServer::BeginRequest(Connection& conn) {
   {
-    std::lock_guard<std::mutex> lk(conn->write_mu);
-    if (conn->fd >= 0) {
-      ::close(conn->fd);
-      conn->fd = -1;
+    std::lock_guard<std::mutex> lk(conn.out_mu);
+    ++conn.in_flight;
+  }
+  global_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  total_requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void HolixServer::CompleteRequest(const std::shared_ptr<Connection>& conn,
+                                  std::vector<uint8_t> frame) {
+  {
+    std::lock_guard<std::mutex> lk(conn->out_mu);
+    --conn->in_flight;
+    if (!conn->closed) {
+      conn->outbox_bytes += frame.size();
+      conn->outbox.push_back(std::move(frame));
     }
   }
-  conn->finished.store(true, std::memory_order_release);
+  NotifyDirty(conn);
+  // Decrement strictly after NotifyDirty: Stop() takes global == 0 to mean
+  // every completion is visible to its loop.
+  global_in_flight_.fetch_sub(1, std::memory_order_release);
 }
 
 template <typename Req, typename Fn>
-bool HolixServer::DispatchQuery(const std::shared_ptr<Connection>& conn,
+bool HolixServer::DispatchQuery(IoLoop& loop,
+                                const std::shared_ptr<Connection>& conn,
                                 const Frame& f, Fn&& run) {
   Req req;
   if (!DecodeMessage(f, &req)) {
-    SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
-              std::string("malformed ") + MsgTypeName(f.type));
+    EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                 std::string("malformed ") + MsgTypeName(f.type));
     return false;
   }
   auto it = conn->sessions.find(req.session_id);
   if (it == conn->sessions.end()) {
-    SendError(*conn, f.request_id, ErrorCode::kNoSuchSession,
-              "unknown session " + std::to_string(req.session_id));
+    EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchSession,
+                 "unknown session " + std::to_string(req.session_id));
     return true;
   }
   Session& sess = it->second;
-  // Resolve handles on the reader thread (the session's handle cache is
+  // Resolve handles on the loop thread (the session's handle cache is
   // single-threaded by contract); build the pool closure, or report a
   // resolution error without closing the connection.
-  std::function<void()> work;
+  std::function<std::vector<uint8_t>()> work;
   try {
-    work = run(sess, req);
+    work = run(sess, req, f.request_id);
   } catch (const std::out_of_range& e) {
-    SendError(*conn, f.request_id, ErrorCode::kNoSuchColumn, e.what());
+    EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchColumn, e.what());
     return true;
   }
-  // Backpressure: park the reader until the window opens. Parking here
-  // stops frame decoding, the socket's receive buffer fills, and TCP flow
-  // control slows the client.
-  {
-    std::unique_lock<std::mutex> lk(conn->flow_mu);
-    conn->flow_cv.wait(lk, [&] {
-      return conn->in_flight < options_.max_in_flight_per_connection ||
-             conn->closing.load(std::memory_order_acquire);
-    });
-    ++conn->in_flight;
-  }
-  total_requests_.fetch_add(1, std::memory_order_relaxed);
+  BeginRequest(*conn);
   const uint64_t request_id = f.request_id;
-  sess.SubmitRaw([conn, request_id, work = std::move(work)] {
+  sess.SubmitRaw([this, conn, request_id, work = std::move(work)] {
+    std::vector<uint8_t> frame;
     try {
-      work();
+      frame = work();
     } catch (const std::exception& e) {
-      SendError(*conn, request_id, ErrorCode::kQueryFailed, e.what());
+      frame = EncodeError(request_id, ErrorCode::kQueryFailed, e.what());
     } catch (...) {
-      SendError(*conn, request_id, ErrorCode::kQueryFailed, "unknown error");
+      frame = EncodeError(request_id, ErrorCode::kQueryFailed, "unknown error");
     }
-    std::lock_guard<std::mutex> lk(conn->flow_mu);
-    --conn->in_flight;
-    conn->flow_cv.notify_all();
+    CompleteRequest(conn, std::move(frame));
   });
   return true;
 }
 
-bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
+bool HolixServer::HandleFrame(IoLoop& loop,
+                              const std::shared_ptr<Connection>& conn,
                               const Frame& f) {
   Database* db = &db_;
   switch (f.type) {
     case MsgType::kOpenSession: {
       OpenSessionReq req;
       if (!DecodeMessage(f, &req)) {
-        SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
-                  "malformed OpenSession");
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                     "malformed OpenSession");
         return false;
       }
       if (conn->sessions.size() >= options_.max_sessions_per_connection) {
-        SendError(*conn, f.request_id, ErrorCode::kQueryFailed,
-                  "session cap reached: " +
-                      std::to_string(options_.max_sessions_per_connection));
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kQueryFailed,
+                     "session cap reached: " +
+                         std::to_string(options_.max_sessions_per_connection));
         return true;
       }
       Session session = db_.OpenSession();
       OpenSessionAck ack;
       ack.session_id = session.id();
       conn->sessions.emplace(ack.session_id, std::move(session));
-      Send(*conn, f.request_id, ack);
+      EnqueueLoop(loop, conn, EncodeMessage(f.request_id, ack));
       return true;
     }
     case MsgType::kCloseSession: {
       CloseSessionReq req;
       if (!DecodeMessage(f, &req)) {
-        SendError(*conn, f.request_id, ErrorCode::kMalformedFrame,
-                  "malformed CloseSession");
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                     "malformed CloseSession");
         return false;
       }
       if (conn->sessions.erase(req.session_id) == 0) {
-        SendError(*conn, f.request_id, ErrorCode::kNoSuchSession,
-                  "unknown session " + std::to_string(req.session_id));
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchSession,
+                     "unknown session " + std::to_string(req.session_id));
         return true;
       }
-      Send(*conn, f.request_id, CloseSessionAck{});
+      EnqueueLoop(loop, conn, EncodeMessage(f.request_id, CloseSessionAck{}));
       return true;
     }
-    case MsgType::kCountRange:
+    case MsgType::kCountRange: {
+      if (coalescer_ != nullptr) {
+        CountRangeReq req;
+        if (!DecodeMessage(f, &req)) {
+          EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                       "malformed CountRange");
+          return false;
+        }
+        auto it = conn->sessions.find(req.session_id);
+        if (it == conn->sessions.end()) {
+          EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchSession,
+                       "unknown session " + std::to_string(req.session_id));
+          return true;
+        }
+        ColumnHandle h;
+        try {
+          h = it->second.Handle(req.table, req.column);
+        } catch (const std::out_of_range& e) {
+          EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchColumn,
+                       e.what());
+          return true;
+        }
+        BeginRequest(*conn);
+        const uint64_t id = f.request_id;
+        coalescer_->Submit(
+            h, req.low, req.high,
+            [this, conn, id](uint64_t count, const std::string* error) {
+              std::vector<uint8_t> bytes;
+              if (error != nullptr) {
+                bytes = EncodeError(id, ErrorCode::kQueryFailed, *error);
+              } else {
+                CountResult res;
+                res.count = count;
+                bytes = EncodeMessage(id, res);
+              }
+              CompleteRequest(conn, std::move(bytes));
+            });
+        return true;
+      }
       return DispatchQuery<CountRangeReq>(
-          conn, f, [db, conn, id = f.request_id](Session& s, const CountRangeReq& r) {
+          loop, conn, f,
+          [db](Session& s, const CountRangeReq& r, uint64_t id) {
             ColumnHandle h = s.Handle(r.table, r.column);
             const KeyScalar low = r.low, high = r.high;
-            return [db, conn, id, h, low, high] {
+            return [db, id, h, low, high] {
               CountResult res;
               res.count = db->CountRangeScalar(h, low, high, QueryContext{});
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
+    }
     case MsgType::kSumRange:
       return DispatchQuery<SumRangeReq>(
-          conn, f, [db, conn, id = f.request_id](Session& s, const SumRangeReq& r) {
+          loop, conn, f, [db](Session& s, const SumRangeReq& r, uint64_t id) {
             ColumnHandle h = s.Handle(r.table, r.column);
             const KeyScalar low = r.low, high = r.high;
-            return [db, conn, id, h, low, high] {
+            return [db, id, h, low, high] {
               SumResult res;
               // The carrier follows the column type: a double column's sum
               // leaves the server as a genuine f64 scalar.
               res.sum = db->SumRangeScalar(h, low, high, QueryContext{});
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
     case MsgType::kSelectRowIds:
       return DispatchQuery<SelectRowIdsReq>(
-          conn, f,
-          [db, conn, id = f.request_id](Session& s, const SelectRowIdsReq& r) {
+          loop, conn, f,
+          [db](Session& s, const SelectRowIdsReq& r, uint64_t id) {
             ColumnHandle h = s.Handle(r.table, r.column);
             const KeyScalar low = r.low, high = r.high;
-            return [db, conn, id, h, low, high] {
+            return [db, id, h, low, high]() -> std::vector<uint8_t> {
               const PositionList rows =
                   db->SelectRowIdsScalar(h, low, high, QueryContext{});
               RowIdsResult res;
@@ -392,32 +721,78 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
               // frame, never a silently truncated result.
               if (res.rowids.size() * sizeof(uint64_t) + 16 >
                   kMaxPayloadBytes) {
-                SendError(*conn, id, ErrorCode::kQueryFailed,
-                          "result exceeds frame cap: " +
-                              std::to_string(res.rowids.size()) + " rowids");
-                return;
+                return EncodeError(id, ErrorCode::kQueryFailed,
+                                   "result exceeds frame cap: " +
+                                       std::to_string(res.rowids.size()) +
+                                       " rowids");
               }
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
     case MsgType::kProjectSum:
       return DispatchQuery<ProjectSumReq>(
-          conn, f, [db, conn, id = f.request_id](Session& s, const ProjectSumReq& r) {
+          loop, conn, f, [db](Session& s, const ProjectSumReq& r, uint64_t id) {
             ColumnHandle hw = s.Handle(r.table, r.where_column);
             ColumnHandle hp = s.Handle(r.table, r.project_column);
             const KeyScalar low = r.low, high = r.high;
-            return [db, conn, id, hw, hp, low, high] {
+            return [db, id, hw, hp, low, high] {
               ProjectSumResult res;
-              res.sum =
-                  db->ProjectSumScalar(hw, hp, low, high, QueryContext{});
-              Send(*conn, id, res);
+              res.sum = db->ProjectSumScalar(hw, hp, low, high, QueryContext{});
+              return EncodeMessage(id, res);
             };
           });
-    case MsgType::kExecuteQuery:
+    case MsgType::kExecuteQuery: {
+      if (coalescer_ != nullptr) {
+        // Count-only single-predicate specs are the shared-scan shape:
+        // route them through the coalescer so concurrent clients on the
+        // same column share one crack/scan pass. The engine's answer for
+        // this shape IS CountRange, so the result is bit-equal.
+        ExecuteQueryReq req;
+        if (!DecodeMessage(f, &req)) {
+          EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                       "malformed ExecuteQuery");
+          return false;
+        }
+        if (req.predicates.size() == 1 && req.results.size() == 1 &&
+            static_cast<ResultRequest>(req.results[0].kind) ==
+                ResultRequest::kCount) {
+          auto it = conn->sessions.find(req.session_id);
+          if (it == conn->sessions.end()) {
+            EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchSession,
+                         "unknown session " + std::to_string(req.session_id));
+            return true;
+          }
+          ColumnHandle h;
+          try {
+            h = it->second.Handle(req.table, req.predicates[0].column);
+          } catch (const std::out_of_range& e) {
+            EnqueueError(loop, conn, f.request_id, ErrorCode::kNoSuchColumn,
+                         e.what());
+            return true;
+          }
+          BeginRequest(*conn);
+          const uint64_t id = f.request_id;
+          coalescer_->Submit(
+              h, req.predicates[0].low, req.predicates[0].high,
+              [this, conn, id](uint64_t count, const std::string* error) {
+                std::vector<uint8_t> bytes;
+                if (error != nullptr) {
+                  bytes = EncodeError(id, ErrorCode::kQueryFailed, *error);
+                } else {
+                  ExecuteQueryResult res;
+                  res.values.push_back(
+                      KeyScalar::I64(static_cast<int64_t>(count)));
+                  bytes = EncodeMessage(id, res);
+                }
+                CompleteRequest(conn, std::move(bytes));
+              });
+          return true;
+        }
+      }
       return DispatchQuery<ExecuteQueryReq>(
-          conn, f,
-          [db, conn, id = f.request_id](Session& s, const ExecuteQueryReq& r) {
-            // Resolve every named column on the reader thread (session
+          loop, conn, f,
+          [db](Session& s, const ExecuteQueryReq& r, uint64_t id) {
+            // Resolve every named column on the loop thread (session
             // handle cache); the engine validates conjunction shape and
             // same-table membership when the closure runs.
             QuerySpec spec;
@@ -436,7 +811,7 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
               }
               spec.results.push_back(std::move(rs));
             }
-            return [db, conn, id, spec = std::move(spec)] {
+            return [db, id, spec = std::move(spec)]() -> std::vector<uint8_t> {
               QueryResult qr = db->Execute(spec, QueryContext{});
               ExecuteQueryResult res;
               res.values = std::move(qr.values);
@@ -445,39 +820,40 @@ bool HolixServer::HandleFrame(const std::shared_ptr<Connection>& conn,
               if (res.rowids.size() * sizeof(uint64_t) +
                       res.values.size() * 9 + 32 >
                   kMaxPayloadBytes) {
-                SendError(*conn, id, ErrorCode::kQueryFailed,
-                          "result exceeds frame cap: " +
-                              std::to_string(res.rowids.size()) + " rowids");
-                return;
+                return EncodeError(id, ErrorCode::kQueryFailed,
+                                   "result exceeds frame cap: " +
+                                       std::to_string(res.rowids.size()) +
+                                       " rowids");
               }
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
+    }
     case MsgType::kInsert:
       return DispatchQuery<InsertReq>(
-          conn, f, [db, conn, id = f.request_id](Session& s, const InsertReq& r) {
+          loop, conn, f, [db](Session& s, const InsertReq& r, uint64_t id) {
             ColumnHandle h = s.Handle(r.table, r.column);
             const KeyScalar value = r.value;
-            return [db, conn, id, h, value] {
+            return [db, id, h, value] {
               InsertResult res;
               res.rowid = db->InsertScalar(h, value, QueryContext{});
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
     case MsgType::kDelete:
       return DispatchQuery<DeleteReq>(
-          conn, f, [db, conn, id = f.request_id](Session& s, const DeleteReq& r) {
+          loop, conn, f, [db](Session& s, const DeleteReq& r, uint64_t id) {
             ColumnHandle h = s.Handle(r.table, r.column);
             const KeyScalar value = r.value;
-            return [db, conn, id, h, value] {
+            return [db, id, h, value] {
               DeleteResult res;
               res.found = db->DeleteScalar(h, value, QueryContext{});
-              Send(*conn, id, res);
+              return EncodeMessage(id, res);
             };
           });
     default:
-      SendError(*conn, f.request_id, ErrorCode::kUnknownMessage,
-                std::string("unexpected ") + MsgTypeName(f.type));
+      EnqueueError(loop, conn, f.request_id, ErrorCode::kUnknownMessage,
+                   std::string("unexpected ") + MsgTypeName(f.type));
       return true;
   }
 }

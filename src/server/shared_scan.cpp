@@ -1,0 +1,73 @@
+#include "server/shared_scan.h"
+
+#include <exception>
+
+#include "engine/database.h"
+
+namespace holix::net {
+
+std::shared_ptr<SharedScanCoalescer::ColumnState> SharedScanCoalescer::StateFor(
+    const ColumnHandle& column) {
+  std::lock_guard<std::mutex> lk(map_mu_);
+  auto& st = cols_[column.entry()];
+  if (st == nullptr) {
+    st = std::make_shared<ColumnState>();
+    st->handle = column;
+    st->stats = stats_;
+  }
+  return st;
+}
+
+void SharedScanCoalescer::Submit(const ColumnHandle& column, KeyScalar low,
+                                 KeyScalar high, Done done) {
+  auto st = StateFor(column);
+  bool lead = false;
+  {
+    std::lock_guard<std::mutex> lk(st->mu);
+    st->queue.push_back({low, high, std::move(done)});
+    if (!st->busy) {
+      st->busy = true;
+      lead = true;
+    }
+  }
+  if (lead) {
+    Database* db = &db_;
+    db_.client_pool().Submit(
+        [db, st = std::move(st)] { RunBatches(*db, std::move(st)); });
+  }
+}
+
+void SharedScanCoalescer::RunBatches(Database& db,
+                                     std::shared_ptr<ColumnState> st) {
+  for (;;) {
+    std::vector<PendingReq> batch;
+    {
+      std::lock_guard<std::mutex> lk(st->mu);
+      if (st->queue.empty()) {
+        st->busy = false;
+        return;
+      }
+      batch.swap(st->queue);
+    }
+    st->stats->batches.fetch_add(1, std::memory_order_relaxed);
+    st->stats->requests.fetch_add(batch.size(), std::memory_order_relaxed);
+    std::vector<std::pair<KeyScalar, KeyScalar>> ranges;
+    ranges.reserve(batch.size());
+    for (const PendingReq& r : batch) ranges.emplace_back(r.low, r.high);
+    try {
+      const std::vector<uint64_t> counts =
+          db.CountRangeBatchScalar(st->handle, ranges, QueryContext{});
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch[i].done(counts[i], nullptr);
+      }
+    } catch (const std::exception& e) {
+      const std::string msg = e.what();
+      for (PendingReq& r : batch) r.done(0, &msg);
+    } catch (...) {
+      const std::string msg = "unknown error";
+      for (PendingReq& r : batch) r.done(0, &msg);
+    }
+  }
+}
+
+}  // namespace holix::net

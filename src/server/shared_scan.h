@@ -1,0 +1,106 @@
+/// \file shared_scan.h
+/// \brief SharedScanCoalescer: batches concurrent count-range requests on
+/// the same column into single crack/scan passes.
+///
+/// The ColBase "shared scan" idea, adapted to adaptive indexing: N
+/// concurrent range counts over one column should cost ~one pass, not N.
+/// The event-loop server gives the engine a global view of in-flight
+/// requests, and this coalescer exploits it with a *convoy* scheme — no
+/// timers, no artificial batching delay:
+///
+///  * The first request on an idle column becomes the batch leader; it is
+///    dispatched onto the database's client pool.
+///  * Requests arriving while the leader runs park in the column's queue.
+///  * When the leader's batch finishes, it takes the whole queue — however
+///    many requests piled up — as the next batch, and loops until the
+///    queue is empty.
+///
+/// A lone request therefore degenerates to one ordinary CountRange with no
+/// added latency, while under concurrency the batch size automatically
+/// tracks how far the engine lags the arrival rate. Each batch runs
+/// Database::CountRangeBatchScalar: the union of the batch's bounds is
+/// cracked once and every request's count is carved out of one scan,
+/// bit-equal to running the requests separately.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "engine/column_registry.h"
+#include "storage/types.h"
+
+namespace holix {
+class Database;
+}
+
+namespace holix::net {
+
+class SharedScanCoalescer {
+ public:
+  /// Called with the request's count, or with a non-null error message.
+  using Done = std::function<void(uint64_t count, const std::string* error)>;
+
+  /// \p db must outlive every callback (the server guarantees it: Stop()
+  /// drains all in-flight requests before the database can die).
+  explicit SharedScanCoalescer(Database& db) : db_(db) {}
+
+  SharedScanCoalescer(const SharedScanCoalescer&) = delete;
+  SharedScanCoalescer& operator=(const SharedScanCoalescer&) = delete;
+
+  /// Queues one count-range request for \p column and returns immediately;
+  /// \p done fires on a client-pool thread. Thread-safe.
+  void Submit(const ColumnHandle& column, KeyScalar low, KeyScalar high,
+              Done done);
+
+  /// Batches run over the coalescer's lifetime (a batch of one is still a
+  /// batch: it went through the shared-scan path).
+  uint64_t BatchesRun() const {
+    return stats_->batches.load(std::memory_order_relaxed);
+  }
+  /// Requests answered through batches.
+  uint64_t RequestsCoalesced() const {
+    return stats_->requests.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Stats {
+    std::atomic<uint64_t> batches{0};
+    std::atomic<uint64_t> requests{0};
+  };
+
+  struct PendingReq {
+    KeyScalar low;
+    KeyScalar high;
+    Done done;
+  };
+
+  /// Per-column convoy state. shared_ptr-held by leader closures, so a
+  /// batch finishing after the coalescer died (impossible under the
+  /// server's drain contract, but cheap to make safe) touches live memory.
+  struct ColumnState {
+    ColumnHandle handle;
+    std::shared_ptr<Stats> stats;
+    std::mutex mu;
+    bool busy = false;
+    std::vector<PendingReq> queue;
+  };
+
+  std::shared_ptr<ColumnState> StateFor(const ColumnHandle& column);
+  /// The leader: drains the queue batch-by-batch on a client-pool thread.
+  static void RunBatches(Database& db, std::shared_ptr<ColumnState> st);
+
+  Database& db_;
+  std::shared_ptr<Stats> stats_ = std::make_shared<Stats>();
+  std::mutex map_mu_;
+  std::unordered_map<const ColumnEntry*, std::shared_ptr<ColumnState>> cols_;
+};
+
+}  // namespace holix::net

@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "storage/types.h"
@@ -27,6 +28,7 @@ class PendingUpdates {
     std::lock_guard<std::mutex> lk(mu_);
     inserts_.push_back({value, rowid});
     ins_bounds_.Widen(value);
+    appended_[rowid] = value;
   }
 
   /// Parks a deletion of (value, rowid).
@@ -34,6 +36,7 @@ class PendingUpdates {
     std::lock_guard<std::mutex> lk(mu_);
     deletes_.push_back({value, rowid});
     del_bounds_.Widen(value);
+    appended_.erase(rowid);
   }
 
   /// Extracts (removes and returns) every pending insert whose value lies
@@ -96,6 +99,26 @@ class PendingUpdates {
             std::any_of(inserts_.begin(), inserts_.end(), in_range)) ||
            (del_bounds_.Overlaps(low, high) &&
             std::any_of(deletes_.begin(), deletes_.end(), in_range));
+  }
+
+  /// Looks up the value of an appended row (one added through AddInsert and
+  /// not since deleted). Unlike the queues, this registry is *persistent*:
+  /// Ripple merges drain the queues into the cracker column, but the base
+  /// column array never grows, so positional paths (conjunction probes,
+  /// projection sums) need a side lookup for rowids past the base. Returns
+  /// false when \p rowid was never appended here (or was deleted again).
+  bool AppendedValue(RowId rowid, T* out) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = appended_.find(rowid);
+    if (it == appended_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+  /// Number of live appended rows (inserted and not deleted).
+  size_t AppendedRows() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return appended_.size();
   }
 
   /// Number of pending insertions.
@@ -170,6 +193,8 @@ class PendingUpdates {
   std::vector<std::pair<T, RowId>> deletes_;
   Bounds ins_bounds_;
   Bounds del_bounds_;
+  /// rowid -> value for every live appended row; survives Take* drains.
+  std::unordered_map<RowId, T> appended_;
 };
 
 }  // namespace holix

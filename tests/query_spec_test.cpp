@@ -406,11 +406,12 @@ TEST(QuerySpec, ConcurrentMultiPredicateQueriesWithInserts) {
   EXPECT_EQ(db.Execute(spec).values[0].i, static_cast<int64_t>(expect));
 }
 
-TEST(QuerySpec, MaterializedPathExcludesAppendedRowsConsistently) {
-  // A row appended by Insert is visible to the legacy one-predicate/
-  // one-result primitives, but the materialized path (several results)
-  // answers over the loaded base rows only — and count, rowids and sums
-  // must agree about which rows qualify.
+TEST(QuerySpec, MaterializedPathIncludesAppendedRowsConsistently) {
+  // A row appended by Insert is visible to every shape that touches only
+  // its own column: the legacy one-predicate/one-result primitives AND the
+  // materialized path (several results), whose positional sums resolve the
+  // appended rowid through the column's pending registry. Count, rowids
+  // and sums must agree about which rows qualify.
   const auto a = MakeUniform(5000, kDomain, 70);
   Database db(ModeOptions(ExecMode::kAdaptive));
   db.LoadColumn("t", "a", a);
@@ -424,19 +425,135 @@ TEST(QuerySpec, MaterializedPathExcludesAppendedRowsConsistently) {
       base_sum += v;
     }
   }
-  db.Insert(ha, 500);
+  const RowId inserted = db.Insert(ha, 500);
+  EXPECT_GE(inserted, a.size());
   // Legacy shape: the merged pending insert is counted and summed.
   EXPECT_EQ(db.CountRange(ha, 0, 1000), base_count + 1);
   EXPECT_EQ(db.SumRange(ha, 0, 1000), base_sum + 500);
 
-  // Materialized shape: base rows only, internally consistent.
+  // Materialized shape: same qualifying set, internally consistent.
   QuerySpec spec;
   spec.Where(ha, int64_t{0}, int64_t{1000}).Count().Sum(ha).RowIds();
   const QueryResult r = db.Execute(spec);
-  EXPECT_EQ(r.values[0].i, static_cast<int64_t>(base_count));
-  EXPECT_EQ(r.values[1].i, base_sum);
-  EXPECT_EQ(r.rowids.size(), base_count);
-  for (RowId rid : r.rowids) EXPECT_LT(rid, a.size());
+  EXPECT_EQ(r.values[0].i, static_cast<int64_t>(base_count) + 1);
+  EXPECT_EQ(r.values[1].i, base_sum + 500);
+  EXPECT_EQ(r.rowids.size(), base_count + 1);
+  EXPECT_TRUE(std::find(r.rowids.begin(), r.rowids.end(), inserted) !=
+              r.rowids.end());
+
+  // The registry survives the Ripple merges those queries performed: ask
+  // again now that the pending queues are drained.
+  const QueryResult again = db.Execute(spec);
+  EXPECT_EQ(again.values[0].i, static_cast<int64_t>(base_count) + 1);
+  EXPECT_EQ(again.values[1].i, base_sum + 500);
+
+  // Deleting one row with that value (whichever rowid the index resolves
+  // — possibly the appended one, whose registry entry is then erased)
+  // shrinks every result shape by exactly that row.
+  EXPECT_TRUE(db.Delete(ha, 500));
+  const QueryResult gone = db.Execute(spec);
+  EXPECT_EQ(gone.values[0].i, static_cast<int64_t>(base_count));
+  EXPECT_EQ(gone.values[1].i, base_sum);
+  EXPECT_EQ(gone.rowids.size(), base_count);
+}
+
+TEST(QuerySpec, ConjunctionAfterInsertBitExactInAllModes) {
+  // The ISSUE-6 regression: insert into one column, then IMMEDIATELY run a
+  // 2-predicate conjunction. The inserted row must be excluded (it has no
+  // value in the other predicate column), and the answer must stay
+  // bit-exact with the base-data oracle in every mode — including the
+  // probe path, which used to skip appended rowids silently instead of
+  // resolving them. Also pins the flip side: a single-predicate
+  // multi-result spec on the inserted column DOES see the row.
+  const size_t rows = 4000;
+  const auto a = MakeUniform(rows, kDomain, 71);
+  const auto b = MakeUniform(rows, kDomain, 72);
+  size_t expect_count = 0;
+  int64_t expect_sum_b = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (a[i] >= 1000 && a[i] < 700000 && b[i] >= 2000 && b[i] < 900000) {
+      ++expect_count;
+      expect_sum_b += b[i];
+    }
+  }
+  for (ExecMode m : kAllModes) {
+    SCOPED_TRACE(static_cast<int>(m));
+    Database db(ModeOptions(m));
+    db.LoadColumn("t", "a", a);
+    db.LoadColumn("t", "b", b);
+    const ColumnHandle ha = db.Resolve("t", "a");
+    const ColumnHandle hb = db.Resolve("t", "b");
+
+    bool inserted = false;
+    try {
+      db.Insert(ha, 5000);  // qualifies on a, missing from b
+      inserted = true;
+    } catch (const std::logic_error&) {
+      // Non-cracking modes reject updates; the conjunction must still be
+      // exact there.
+    }
+
+    QuerySpec spec;
+    spec.Where(ha, int64_t{1000}, int64_t{700000})
+        .Where(hb, int64_t{2000}, int64_t{900000})
+        .Count()
+        .Sum(hb);
+    const QueryResult r = db.Execute(spec);
+    EXPECT_EQ(r.values[0].i, static_cast<int64_t>(expect_count));
+    EXPECT_EQ(r.values[1].i, expect_sum_b);
+    // Same answer with the predicate order flipped (drives the other
+    // planning order, so both the merge and the probe paths see the
+    // appended row).
+    QuerySpec flipped;
+    flipped.Where(hb, int64_t{2000}, int64_t{900000})
+        .Where(ha, int64_t{1000}, int64_t{700000})
+        .Count()
+        .Sum(hb);
+    EXPECT_EQ(db.Execute(flipped).values[0].i,
+              static_cast<int64_t>(expect_count));
+
+    if (inserted) {
+      size_t single_count = 0;
+      int64_t single_sum = 0;
+      for (int64_t v : a) {
+        if (v >= 1000 && v < 700000) {
+          ++single_count;
+          single_sum += v;
+        }
+      }
+      QuerySpec single;
+      single.Where(ha, int64_t{1000}, int64_t{700000}).Count().Sum(ha);
+      const QueryResult sr = db.Execute(single);
+      EXPECT_EQ(sr.values[0].i, static_cast<int64_t>(single_count) + 1);
+      EXPECT_EQ(sr.values[1].i, single_sum + 5000);
+    }
+  }
+}
+
+TEST(QuerySpec, ProjectSumAfterInsertStaysInBounds) {
+  // ProjectSum whose WHERE column holds appended rows used to read the
+  // project column out of bounds (rowid past the base array). The appended
+  // row must simply contribute nothing when the project column never saw
+  // it — and the inserted value when WHERE and PROJECT are the same
+  // column.
+  const size_t rows = 3000;
+  const auto a = MakeUniform(rows, kDomain, 73);
+  const auto b = MakeUniform(rows, kDomain, 74);
+  Database db(ModeOptions(ExecMode::kAdaptive));
+  db.LoadColumn("t", "a", a);
+  db.LoadColumn("t", "b", b);
+  const ColumnHandle ha = db.Resolve("t", "a");
+  const ColumnHandle hb = db.Resolve("t", "b");
+
+  int64_t expect = 0;
+  for (size_t i = 0; i < rows; ++i) {
+    if (a[i] >= 0 && a[i] < 900000) expect += b[i];
+  }
+  for (int i = 0; i < 64; ++i) db.Insert(ha, 100 + i);
+  EXPECT_EQ(db.ProjectSum(ha, hb, 0, 900000), expect);
+  // Run twice: the first call Ripple-merged the pending rows into the
+  // index, so the second exercises the persistent registry path.
+  EXPECT_EQ(db.ProjectSum(ha, hb, 0, 900000), expect);
 }
 
 TEST(QuerySpec, AsyncSubmitExecute) {

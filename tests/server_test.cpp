@@ -88,6 +88,15 @@ class RawConn {
     }
   }
 
+  /// Abruptly resets the connection: SO_LINGER 0 turns close() into RST,
+  /// the rudest disconnect a peer can deliver.
+  void Reset() {
+    linger lg{1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd_);
+    fd_ = -1;
+  }
+
  private:
   int fd_ = -1;
 };
@@ -544,6 +553,117 @@ TEST(Server, StopDrainsInFlightPipelinedQueries) {
   stopper.join();
   EXPECT_FALSE(server.running());
   EXPECT_GT(answered, 0u);
+}
+
+/// The decoder must reassemble frames from arbitrarily fragmented reads:
+/// dribble an entire handshake + query exchange one byte per send().
+TEST(Server, OneBytePerSendReassemblesFrames) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(5000, kDomain, 31);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+  RawConn raw(server.port());
+
+  auto dribble = [&](const std::vector<uint8_t>& bytes) {
+    for (uint8_t b : bytes) raw.Send({b});
+  };
+
+  dribble(EncodeMessage(1, Hello{}));
+  EXPECT_EQ(raw.ReadFrame().type, MsgType::kHelloAck);
+
+  dribble(EncodeMessage(2, OpenSessionReq{}));
+  const Frame ack = raw.ReadFrame();
+  ASSERT_EQ(ack.type, MsgType::kOpenSessionAck);
+  OpenSessionAck open;
+  ASSERT_TRUE(DecodeMessage(ack, &open));
+
+  CountRangeReq req;
+  req.session_id = open.session_id;
+  req.table = "r";
+  req.column = "a";
+  req.low = KeyScalar::I64(0);
+  req.high = KeyScalar::I64(kDomain);
+  dribble(EncodeMessage(3, req));
+  const Frame f = raw.ReadFrame();
+  ASSERT_EQ(f.type, MsgType::kCountResult);
+  CountResult res;
+  ASSERT_TRUE(DecodeMessage(f, &res));
+  EXPECT_EQ(res.count, data.size());
+  server.Stop();
+}
+
+/// A peer that resets (RST) mid-frame — header sent, payload never
+/// arriving — must not wedge the server or leak its connection slot.
+TEST(Server, ResetMidFrameLeavesServerHealthy) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(5000, kDomain, 32);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+
+  {
+    RawConn raw(server.port());
+    raw.Send(EncodeMessage(1, Hello{}));
+    EXPECT_EQ(raw.ReadFrame().type, MsgType::kHelloAck);
+    // First half of a valid CountRange frame, then RST.
+    CountRangeReq req;
+    req.session_id = 1;
+    req.table = "r";
+    req.column = "a";
+    req.low = KeyScalar::I64(0);
+    req.high = KeyScalar::I64(kDomain);
+    const std::vector<uint8_t> frame = EncodeMessage(2, req);
+    raw.Send({frame.begin(), frame.begin() + frame.size() / 2});
+    raw.Reset();
+  }
+  {
+    // RST before the handshake even starts.
+    RawConn raw(server.port());
+    const std::vector<uint8_t> hello = EncodeMessage(1, Hello{});
+    raw.Send({hello.begin(), hello.begin() + 3});
+    raw.Reset();
+  }
+
+  // The server keeps serving new clients correctly afterwards.
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+  EXPECT_EQ(client.CountRange(sid, "r", "a", 0, kDomain), data.size());
+  server.Stop();
+}
+
+/// Shared scans answer concurrent same-column counts bit-equal to the
+/// engine, and actually coalesce under pipelining.
+TEST(Server, SharedScanCoalescesConcurrentCountsBitEqual) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(100000, kDomain, 33);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);  // shared_scans defaults on
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  Rng rng(34);
+  std::vector<uint64_t> ids;
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  for (int i = 0; i < 64; ++i) {
+    const int64_t lo = static_cast<int64_t>(rng.Below(kDomain));
+    const int64_t hi = lo + 1 + static_cast<int64_t>(rng.Below(kDomain / 2));
+    ranges.emplace_back(lo, hi);
+    ids.push_back(client.SendCountRange(sid, "r", "a", lo, hi));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(client.AwaitCount(ids[i]),
+              test::NaiveCount(data, ranges[i].first, ranges[i].second))
+        << "request " << i;
+  }
+  // Every count went through the coalescer; pipelined arrivals batched.
+  EXPECT_EQ(server.SharedScanRequests(), 64u);
+  EXPECT_GE(server.SharedScanBatches(), 1u);
+  EXPECT_LE(server.SharedScanBatches(), 64u);
+  server.Stop();
 }
 
 }  // namespace

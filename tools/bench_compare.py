@@ -14,6 +14,14 @@ non-numeric cells (labels like "u1w1x2"), columns whose header marks them
 as non-timing (e.g. "checksum"), and sub-5ms cells (pure noise at smoke
 scale) are all skipped.
 
+Each row is ADDITIONALLY gated on the sum of its timing cells: at smoke
+scale a figure like fig17_socket can have every individual cell under the
+5ms noise floor while the row's aggregate wall time is comfortably
+measurable — per-cell skipping alone would leave such figures entirely
+ungated (a regression could grow every cell 10x and still "pass"). The
+aggregate comparison uses the same threshold and noise floor, so a row
+whose total cost regresses fails even when no single cell does.
+
 Usage:
     tools/bench_compare.py --baseline bench/results --fresh bench-json \
         --figs fig17,fig17_socket --threshold 2.5
@@ -33,9 +41,10 @@ import sys
 MIN_GATED_SECONDS = 0.005
 
 # Column headers that carry non-timing numerics (correctness probes, row
-# labels); gating them would flag intentional workload changes as
-# "regressions".
-NON_TIMING_HEADERS = ("checksum", "clients", "#attrs", "variation")
+# labels, coalescing stats); gating them would flag intentional workload
+# changes as "regressions".
+NON_TIMING_HEADERS = ("checksum", "clients", "#attrs", "variation", "batch",
+                      "match")
 
 
 def is_timing_column(header, col):
@@ -86,12 +95,18 @@ def compare_fig(fig, baseline_dir, fresh_dir, threshold):
             regressions.append(
                 f"{fig}: baseline row '{key}' missing from the fresh run")
             continue
+        base_sum = 0.0
+        fresh_sum = 0.0
+        summed = 0
         for col, (b_cell, f_cell) in enumerate(zip(base_row, fresh_row)):
             if not is_timing_column(base_header, col):
                 continue
             b, f = parse_cell(b_cell), parse_cell(f_cell)
             if b is None or f is None:
                 continue
+            base_sum += b
+            fresh_sum += f
+            summed += 1
             if b < MIN_GATED_SECONDS and f < MIN_GATED_SECONDS:
                 continue
             checked += 1
@@ -102,6 +117,17 @@ def compare_fig(fig, baseline_dir, fresh_dir, threshold):
                 regressions.append(
                     f"{fig} row '{key}' {col_name}: {b:.4f}s -> {f:.4f}s "
                     f"({f / floor:.2f}x > {threshold:.2f}x)")
+        # Aggregate row gate: catches figures whose individual cells all
+        # sit under the noise floor (see the module docstring).
+        if summed > 0 and (base_sum >= MIN_GATED_SECONDS
+                           or fresh_sum >= MIN_GATED_SECONDS):
+            checked += 1
+            floor = max(base_sum, MIN_GATED_SECONDS)
+            if fresh_sum > floor * threshold:
+                regressions.append(
+                    f"{fig} row '{key}' aggregate: {base_sum:.4f}s -> "
+                    f"{fresh_sum:.4f}s "
+                    f"({fresh_sum / floor:.2f}x > {threshold:.2f}x)")
     return checked, regressions
 
 
