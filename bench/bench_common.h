@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "engine/database.h"
 #include "harness/report.h"
 #include "harness/runner.h"
+#include "obs/metrics.h"
 #include "util/env.h"
 #include "workload/workload.h"
 
@@ -144,6 +146,16 @@ inline bool SaveBenchJson(const ReportTable& t, const std::string& name) {
     return false;
   }
   std::printf("# wrote %s\n", path.c_str());
+  // The engine-side telemetry behind the numbers (cracks, bytes moved,
+  // pieces, per-mode latency histograms...) rides along so a perf
+  // regression in the table can be diagnosed from the same artifact set.
+  const std::string mpath =
+      std::string(dir) + "/METRICS_" + name + ".json";
+  std::ofstream mf(mpath);
+  if (mf) {
+    mf << obs::MetricsJson(obs::MetricsRegistry::Global().Snapshot());
+    std::printf("# wrote %s\n", mpath.c_str());
+  }
   return true;
 }
 

@@ -13,7 +13,12 @@
 ///   delete <table> <column> <value>
 ///   query  <table> <col> <lo> <hi> [and <col> <lo> <hi>]...
 ///          [count] [sum <col>] [psum <col>] [rowids]
+///   stats
 ///   help
+///
+/// `stats` fetches the server's live telemetry snapshot (protocol-v4
+/// GetStats) and prints the human-readable one-pager: every holix_*
+/// counter/gauge/histogram plus the recent-query trace ring.
 ///
 /// `query` is the protocol-v3 declarative form: a conjunction of range
 /// predicates (each one cracks its own index server-side) answered with
@@ -31,6 +36,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/metrics.h"
 #include "server/client.h"
 
 namespace {
@@ -75,6 +81,7 @@ void PrintHelp() {
       "  query  <table> <col> <lo> <hi> [and <col> <lo> <hi>]...\n"
       "         [count] [sum <col>] [psum <col>] [rowids]\n"
       "         multi-predicate conjunction (default result: count)\n"
+      "  stats                                  server telemetry snapshot\n"
       "  help | quit\n");
 }
 
@@ -166,6 +173,8 @@ int main(int argc, char** argv) {
         break;
       } else if (cmd == "help") {
         PrintHelp();
+      } else if (cmd == "stats") {
+        std::printf("%s", holix::obs::HumanText(client.GetStats()).c_str());
       } else if (cmd == "count" || cmd == "sum" || cmd == "select") {
         std::string table, column, lo_tok, hi_tok;
         KeyScalar low, high;

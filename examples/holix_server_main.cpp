@@ -5,11 +5,17 @@
 ///
 ///   holix_server [--port N] [--mode adaptive|holistic|...] [--rows N]
 ///                [--attrs N] [--threads N] [--io-threads N]
-///                [--no-shared-scans] [--seed N]
+///                [--no-shared-scans] [--seed N] [--metrics-port N]
 ///
 /// `--port 0` (the default) binds an ephemeral port; the chosen port is
 /// printed as `listening on 127.0.0.1:<port>` so scripts (CI's server
 /// smoke step) can parse it.
+///
+/// Observability: `--metrics-port N` serves `GET /metrics` (Prometheus
+/// text exposition) over plain HTTP on the same event loop (`--metrics-port
+/// 0` stays disabled; the bound port is printed as `metrics on ...`).
+/// SIGUSR1 prints a one-page human-readable telemetry snapshot to stdout
+/// without disturbing service, and shutdown prints a final summary line.
 
 #include <atomic>
 #include <chrono>
@@ -22,14 +28,18 @@
 
 #include "engine/database.h"
 #include "harness/runner.h"
+#include "obs/metrics.h"
 #include "workload/workload.h"
 #include "server/server.h"
 
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
+
+void HandleDumpSignal(int) { g_dump.store(true, std::memory_order_release); }
 
 holix::ExecMode ParseMode(const std::string& name) {
   using holix::ExecMode;
@@ -53,6 +63,8 @@ int main(int argc, char** argv) {
   size_t io_threads = 2;
   bool shared_scans = true;
   uint64_t seed = 1907;
+  uint16_t metrics_port = 0;
+  bool metrics_http = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -78,11 +90,14 @@ int main(int argc, char** argv) {
       shared_scans = false;
     } else if (arg == "--seed") {
       seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--metrics-port") {
+      metrics_port = static_cast<uint16_t>(std::atoi(next()));
+      metrics_http = true;
     } else {
       std::fprintf(stderr,
                    "usage: holix_server [--port N] [--mode M] [--rows N] "
                    "[--attrs N] [--threads N] [--io-threads N] "
-                   "[--no-shared-scans] [--seed N]\n");
+                   "[--no-shared-scans] [--seed N] [--metrics-port N]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -106,19 +121,37 @@ int main(int argc, char** argv) {
   server_opts.port = port;
   server_opts.io_threads = io_threads;
   server_opts.shared_scans = shared_scans;
+  server_opts.metrics_http = metrics_http;
+  server_opts.metrics_port = metrics_port;
   holix::net::HolixServer server(db, server_opts);
   server.Start();
   std::printf("listening on 127.0.0.1:%u\n", server.port());
+  if (server.metrics_port() != 0) {
+    std::printf("metrics on http://127.0.0.1:%u/metrics\n",
+                server.metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   while (!g_stop.load(std::memory_order_acquire)) {
+    if (g_dump.exchange(false, std::memory_order_acq_rel)) {
+      // One-page operator snapshot on demand; service is undisturbed (the
+      // snapshot is the same lock-free read the wire path uses).
+      std::printf("%s", holix::obs::HumanText(db.MetricsSnapshot()).c_str());
+      std::fflush(stdout);
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  std::printf("shutting down: %llu connections, %llu requests served\n",
-              static_cast<unsigned long long>(server.TotalConnections()),
-              static_cast<unsigned long long>(server.TotalRequests()));
+  std::printf(
+      "shutting down: %llu connections (peak %llu open), %llu requests, "
+      "%llu shared-scan batches for %llu requests\n",
+      static_cast<unsigned long long>(server.TotalConnections()),
+      static_cast<unsigned long long>(server.PeakConnections()),
+      static_cast<unsigned long long>(server.TotalRequests()),
+      static_cast<unsigned long long>(server.SharedScanBatches()),
+      static_cast<unsigned long long>(server.SharedScanRequests()));
   server.Stop();
   std::printf("clean shutdown\n");
   return 0;

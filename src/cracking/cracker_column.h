@@ -30,6 +30,7 @@
 #include "cracking/crack_kernels.h"
 #include "cracking/cracker_index.h"
 #include "cracking/parallel_crack.h"
+#include "obs/metrics.h"
 #include "storage/pending_updates.h"
 #include "storage/position_list.h"
 #include "storage/types.h"
@@ -255,6 +256,10 @@ class CrackerColumn {
       if (piece.exact) return false;
       if (!piece.latch->TryLockWrite()) {
         stats_.worker_skips.fetch_add(1, std::memory_order_relaxed);
+        static obs::Counter& latch_failures =
+            obs::MetricsRegistry::Global().GetCounter(
+                "holix_latch_failures_total");
+        latch_failures.Inc();
         return false;
       }
       PieceRef<T> cur = LookupPiece(pivot);
@@ -281,6 +286,14 @@ class CrackerColumn {
   /// latches so concurrent cracks of the same pieces cannot tear rows.
   template <typename Fn>
   void ScanRange(PositionRange range, Fn&& fn) const {
+    if (range.begin < range.end) {
+      const uint64_t nbytes = static_cast<uint64_t>(range.size()) *
+                              (sizeof(T) + sizeof(RowId));
+      static obs::Counter& scan_bytes =
+          obs::MetricsRegistry::Global().GetCounter("holix_scan_bytes_total");
+      scan_bytes.Inc(nbytes);
+      obs::TraceAddBytesScanned(nbytes);
+    }
     ReadGuard column_guard(column_latch_);
     size_t pos = range.begin;
     while (pos < range.end) {
@@ -484,6 +497,12 @@ class CrackerColumn {
     for (const auto& [v, rid] : del) RippleDelete(nodes, v, rid);
     stats_.merged_inserts.fetch_add(ins.size(), std::memory_order_relaxed);
     stats_.merged_deletes.fetch_add(del.size(), std::memory_order_relaxed);
+    static obs::Counter& ripple_ins = obs::MetricsRegistry::Global().GetCounter(
+        "holix_ripple_merged_inserts_total");
+    static obs::Counter& ripple_del = obs::MetricsRegistry::Global().GetCounter(
+        "holix_ripple_merged_deletes_total");
+    ripple_ins.Inc(ins.size());
+    ripple_del.Inc(del.size());
   }
 
   void InitDomain() {
@@ -507,6 +526,7 @@ class CrackerColumn {
   /// payloads always use the scalar kernel (it co-moves payload rows).
   size_t Partition(size_t begin, size_t end, T pivot,
                    const CrackConfig& cfg) {
+    CountCrackKernel(begin, end);
     if (!payloads_.empty()) {
       return CrackInTwoScalar(values_.data(), begin, end, pivot,
                               [this](size_t i, size_t j) { SwapRows(i, j); });
@@ -541,9 +561,30 @@ class CrackerColumn {
   }
 
   void InsertBoundary(T value, size_t pos) {
-    std::unique_lock<std::shared_mutex> lk(tree_mu_);
-    index_.Insert(value, pos);
-    num_boundaries_.store(index_.num_boundaries(), std::memory_order_relaxed);
+    {
+      std::unique_lock<std::shared_mutex> lk(tree_mu_);
+      index_.Insert(value, pos);
+      num_boundaries_.store(index_.num_boundaries(),
+                            std::memory_order_relaxed);
+    }
+    CountPiecesCreated(1);
+  }
+
+  static void CountCrackKernel(size_t begin, size_t end) {
+    static obs::Counter& cracks =
+        obs::MetricsRegistry::Global().GetCounter("holix_cracks_total");
+    static obs::Counter& moved = obs::MetricsRegistry::Global().GetCounter(
+        "holix_crack_bytes_moved_total");
+    cracks.Inc();
+    moved.Inc(static_cast<uint64_t>(end - begin) *
+              (sizeof(T) + sizeof(RowId)));
+  }
+
+  static void CountPiecesCreated(uint32_t n) {
+    static obs::Counter& pieces = obs::MetricsRegistry::Global().GetCounter(
+        "holix_pieces_created_total");
+    pieces.Inc(n);
+    obs::TraceAddPiecesCreated(n);
   }
 
   /// Crack-in-three fast path: both bounds in one piece, one latch, one
@@ -575,6 +616,7 @@ class CrackerColumn {
       return std::nullopt;
     }
     size_t a, b;
+    CountCrackKernel(cur.begin, cur.end);
     if (!payloads_.empty()) {
       std::tie(a, b) = CrackInThreeScalar(
           values_.data(), cur.begin, cur.end, low, high,
@@ -594,6 +636,7 @@ class CrackerColumn {
       num_boundaries_.store(index_.num_boundaries(),
                             std::memory_order_relaxed);
     }
+    CountPiecesCreated(2);
     stats_.query_cracks.fetch_add(2, std::memory_order_relaxed);
     piece.latch->UnlockWrite();
     return PositionRange{a, b};

@@ -248,6 +248,40 @@ size_t Database::TotalIndexPieces() const {
   return pieces;
 }
 
+obs::MetricsSnapshot Database::MetricsSnapshot() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("holix_index_pieces")
+      .Set(static_cast<double>(TotalIndexPieces()));
+  reg.GetGauge("holix_adaptive_indices")
+      .Set(static_cast<double>(NumAdaptiveIndices()));
+  if (holistic_ != nullptr) {
+    const StatsStore& store = holistic_->store();
+    reg.GetGauge("holix_holistic_actual_indices")
+        .Set(static_cast<double>(store.Count(ConfigKind::kActual)));
+    reg.GetGauge("holix_holistic_potential_indices")
+        .Set(static_cast<double>(store.Count(ConfigKind::kPotential)));
+    reg.GetGauge("holix_holistic_optimal_indices")
+        .Set(static_cast<double>(store.Count(ConfigKind::kOptimal)));
+    reg.GetGauge("holix_holistic_store_bytes")
+        .Set(static_cast<double>(store.TotalBytes()));
+    reg.GetGauge("holix_holistic_budget_bytes")
+        .Set(static_cast<double>(store.budget_bytes()));
+    // Equation-1 distance remaining, one gauge per registered column; a
+    // retired index reads 0, so the family shows the burn-down directly.
+    for (const ConfigKind kind :
+         {ConfigKind::kActual, ConfigKind::kPotential, ConfigKind::kOptimal}) {
+      for (const std::string& name : store.Names(kind)) {
+        if (auto index = store.Find(name)) {
+          reg.GetGauge("holix_holistic_distance_bytes{column=\"" + name +
+                       "\"}")
+              .Set(static_cast<double>(index->DistanceToOptimal()));
+        }
+      }
+    }
+  }
+  return reg.Snapshot();
+}
+
 size_t Database::NumAdaptiveIndices() const {
   size_t n = 0;
   registry_.ForEach([&](ColumnEntry& e) {

@@ -39,6 +39,7 @@
 
 #include "engine/column_registry.h"
 #include "engine/engine_options.h"
+#include "obs/metrics.h"
 #include "engine/query_executor.h"
 #include "engine/session.h"
 #include "holistic/holistic_engine.h"
@@ -274,6 +275,13 @@ class Database {
 
   /// Number of adaptive indices materialized so far.
   size_t NumAdaptiveIndices() const;
+
+  /// Refreshes the lazily-computed gauges (piece counts, Equation-1
+  /// distance per column, holistic store usage) in the global registry,
+  /// then returns its snapshot. Both the in-process path and the server's
+  /// `GetStats` frame go through this method, so a quiesced system yields
+  /// bit-identical snapshots from either plane.
+  obs::MetricsSnapshot MetricsSnapshot() const;
 
   /// The options this database was built with.
   const DatabaseOptions& options() const { return options_; }

@@ -10,6 +10,8 @@
 
 #include "baselines/full_scan.h"
 #include "cracking/pre_crack.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
 
 namespace holix {
 
@@ -243,6 +245,24 @@ class ExecutorBase : public QueryExecutor {
         CheckSameTable(first, Entry(r.column));
       }
     }
+    // Validated: everything below counts as one query in the telemetry
+    // plane — per-mode counter + latency histogram, plus a trace the
+    // layers below annotate (pieces created, bytes scanned, planner
+    // choices) through the thread-local scope.
+    obs::QueryTrace trace;
+    trace.mode = static_cast<uint8_t>(ctx_.options->mode);
+    trace.predicates = static_cast<uint16_t>(spec.predicates.size());
+    trace.results = static_cast<uint16_t>(spec.results.size());
+    obs::TraceScope scope(&trace);
+    Timer timer;
+    QueryResult out = ExecuteValidated(spec, qctx);
+    trace.latency_seconds = timer.ElapsedSeconds();
+    obs::RecordQueryDone(trace, ExecModeName(ctx_.options->mode));
+    return out;
+  }
+
+  QueryResult ExecuteValidated(const QuerySpec& spec,
+                               const QueryContext& qctx) {
     if (spec.predicates.size() == 1 && spec.results.size() == 1) {
       return ExecuteLegacyShape(spec, qctx);
     }
@@ -423,14 +443,29 @@ class ExecutorBase : public QueryExecutor {
     for (size_t i = 1; i < order.size() && !cand.empty(); ++i) {
       const RangePredicate& p = *order[i].pred;
       ColumnEntry& e = Entry(p.column);
+      static obs::Counter& probes = obs::MetricsRegistry::Global().GetCounter(
+          "holix_planner_probe_total");
+      static obs::Counter& merges = obs::MetricsRegistry::Global().GetCounter(
+          "holix_planner_merge_total");
+      static obs::Counter& hints = obs::MetricsRegistry::Global().GetCounter(
+          "holix_planner_refine_hints_total");
+      obs::QueryTrace* trace = obs::CurrentQueryTrace();
       if (order[i].est >= kProbeFactor * cand.size() && ProbeSafe(e)) {
         // Low-selectivity conjunct: probing the base value of each
         // surviving candidate is cheaper than materializing its huge
         // qualifying set. The index still refines (RefineHint) so the
         // attribute keeps converging in the adaptive modes.
+        probes.Inc();
+        hints.Inc();
+        if (trace != nullptr) {
+          ++trace->probe_filters;
+          ++trace->refine_hints;
+        }
         RefineHint(e, p.low, p.high, qctx);
         FilterByBaseProbe(e, p.low, p.high, &cand);
       } else {
+        merges.Inc();
+        if (trace != nullptr) ++trace->merge_intersects;
         PositionList other = SelectRowIds(p.column, p.low, p.high, qctx);
         std::sort(other.begin(), other.end());
         cand = SortedIntersect(cand, other);
@@ -922,6 +957,9 @@ class CrackingExecutor : public ExecutorBase {
     if (ranges.size() < 2) {
       return QueryExecutor::CountRangeBatch(h, ranges, qctx);
     }
+    static obs::Counter& batch_ranges =
+        obs::MetricsRegistry::Global().GetCounter("holix_batch_ranges_total");
+    batch_ranges.Inc(ranges.size());
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(
         e.type(), [&](auto tag) -> std::vector<uint64_t> {
@@ -1193,7 +1231,12 @@ class HolisticExecutor : public CrackingExecutor {
     const auto adapter = e.adapter.load(std::memory_order_acquire);
     if (adapter == nullptr) return;
     if (adapter->IsOptimal()) {
-      store.UpdateAfterRefinement(e.key());  // retires into C_optimal
+      if (store.UpdateAfterRefinement(e.key())) {  // retires into C_optimal
+        static obs::Counter& retirements =
+            obs::MetricsRegistry::Global().GetCounter(
+                "holix_holistic_retirements_total");
+        retirements.Inc();
+      }
       e.store_state.store(StoreState::kOptimal, std::memory_order_release);
       return;
     }
@@ -1232,6 +1275,9 @@ std::vector<uint64_t> QueryExecutor::CountRangeBatch(
     const ColumnHandle& column,
     const std::vector<std::pair<KeyScalar, KeyScalar>>& ranges,
     const QueryContext& qctx) {
+  static obs::Counter& batch_ranges =
+      obs::MetricsRegistry::Global().GetCounter("holix_batch_ranges_total");
+  batch_ranges.Inc(ranges.size());
   std::vector<uint64_t> counts;
   counts.reserve(ranges.size());
   for (const auto& [lo, hi] : ranges) {

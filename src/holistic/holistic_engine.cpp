@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace holix {
@@ -72,6 +73,10 @@ size_t HolisticEngine::RunOneCycle() {
   }
   worker_pool_->WaitIdle();
 
+  static obs::Counter& activations = obs::MetricsRegistry::Global().GetCounter(
+      "holix_holistic_activations_total");
+  activations.Inc(workers);
+
   std::lock_guard<std::mutex> lk(telemetry_mu_);
   activations_.push_back(
       {NowSeconds() - start_time_, workers, cycle_timer.ElapsedSeconds()});
@@ -95,18 +100,29 @@ void HolisticEngine::IdleFunction(size_t worker_id) {
 
   // Repeat x times: crack at a random pivot; when the piece is latched,
   // pick another random pivot instead of waiting (Figure 3).
+  static obs::Counter& refinements = obs::MetricsRegistry::Global().GetCounter(
+      "holix_holistic_refinements_total");
+  static obs::Counter& cracks = obs::MetricsRegistry::Global().GetCounter(
+      "holix_holistic_worker_cracks_total");
   for (size_t i = 0; i < config_.refinements_per_worker; ++i) {
     refinement_steps_.fetch_add(1, std::memory_order_relaxed);
+    refinements.Inc();
     for (size_t attempt = 0; attempt < config_.max_pivot_retries; ++attempt) {
       if (index->RefineWithPolicy(config_.pivot_policy, rng, cfg)) {
         worker_cracks_.fetch_add(1, std::memory_order_relaxed);
+        cracks.Inc();
         break;
       }
       if (index->IsOptimal()) break;
     }
     if (index->IsOptimal()) break;
   }
-  store_.UpdateAfterRefinement(index->name());
+  if (store_.UpdateAfterRefinement(index->name())) {
+    static obs::Counter& retirements =
+        obs::MetricsRegistry::Global().GetCounter(
+            "holix_holistic_retirements_total");
+    retirements.Inc();
+  }
 }
 
 std::vector<ActivationRecord> HolisticEngine::Activations() const {

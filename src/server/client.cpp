@@ -186,6 +186,11 @@ void HolixClient::CloseSession(uint64_t session_id) {
   (void)Expect<CloseSessionAck>(AwaitFrame(id));
 }
 
+obs::MetricsSnapshot HolixClient::GetStats() {
+  const uint64_t id = SendMessage(GetStatsReq{});
+  return Expect<GetStatsResult>(AwaitFrame(id)).snapshot;
+}
+
 ExecuteQueryResult HolixClient::ExecuteQuery(
     uint64_t session_id, const std::string& table,
     const std::vector<QueryPredicateWire>& predicates,

@@ -45,6 +45,13 @@ class HolixClient {
   uint64_t OpenSession();
   void CloseSession(uint64_t session_id);
 
+  // --- Telemetry (protocol v4) --------------------------------------------
+
+  /// Fetches the server's full metrics snapshot (every holix_* counter,
+  /// gauge and histogram, plus the recent-query trace ring) in one round
+  /// trip. Needs no session: the server answers inline on its event loop.
+  obs::MetricsSnapshot GetStats();
+
   // --- Declarative query API (protocol v3) --------------------------------
 
   /// Executes a multi-predicate query in one round trip: a conjunction of

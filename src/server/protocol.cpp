@@ -250,6 +250,104 @@ bool ExecuteQueryResult::Decode(WireReader& r) {
   return true;
 }
 
+void GetStatsResult::Encode(WireWriter& w) const {
+  w.U32(static_cast<uint32_t>(snapshot.counters.size()));
+  for (const auto& [name, v] : snapshot.counters) {
+    w.Str(name);
+    w.U64(v);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.gauges.size()));
+  for (const auto& [name, v] : snapshot.gauges) {
+    w.Str(name);
+    w.F64(v);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.histograms.size()));
+  for (const obs::HistogramSnapshot& h : snapshot.histograms) {
+    w.Str(h.name);
+    w.U8(static_cast<uint8_t>(h.bounds.size()));
+    for (double b : h.bounds) w.F64(b);
+    for (uint64_t c : h.counts) w.U64(c);
+    w.F64(h.sum);
+  }
+  w.U32(static_cast<uint32_t>(snapshot.traces.size()));
+  for (const obs::QueryTrace& t : snapshot.traces) {
+    w.U64(t.seq);
+    w.U8(t.mode);
+    w.U16(t.predicates);
+    w.U16(t.results);
+    w.U32(t.probe_filters);
+    w.U32(t.merge_intersects);
+    w.U32(t.refine_hints);
+    w.U32(t.pieces_created);
+    w.U64(t.bytes_scanned);
+    w.F64(t.latency_seconds);
+    w.U8(t.slow ? 1 : 0);
+  }
+}
+bool GetStatsResult::Decode(WireReader& r) {
+  snapshot = obs::MetricsSnapshot{};
+  uint32_t n = 0;
+  if (!r.U32(&n) || n > kMaxStatsSeries) return false;
+  // Each counter entry is at least a string length prefix + u64; the count
+  // must be coverable by the bytes on the wire before any reserve.
+  if (r.remaining() < static_cast<size_t>(n) * 10) return false;
+  snapshot.counters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    uint64_t v = 0;
+    if (!r.Str(&name) || !r.U64(&v)) return false;
+    snapshot.counters.emplace_back(std::move(name), v);
+  }
+  if (!r.U32(&n) || n > kMaxStatsSeries) return false;
+  if (r.remaining() < static_cast<size_t>(n) * 10) return false;
+  snapshot.gauges.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    double v = 0;
+    if (!r.Str(&name) || !r.F64(&v)) return false;
+    snapshot.gauges.emplace_back(std::move(name), v);
+  }
+  if (!r.U32(&n) || n > kMaxStatsHistograms) return false;
+  snapshot.histograms.reserve(
+      std::min<size_t>(n, r.remaining() / 19));  // str + u8 + 2 F64 min
+  for (uint32_t i = 0; i < n; ++i) {
+    obs::HistogramSnapshot h;
+    uint8_t nb = 0;
+    if (!r.Str(&h.name) || !r.U8(&nb)) return false;
+    if (nb >= obs::kMaxHistogramBins) return false;
+    // nb bound doubles + (nb + 1) u64 counts + the sum double.
+    if (r.remaining() < (static_cast<size_t>(nb) * 2 + 2) * 8) return false;
+    h.bounds.resize(nb);
+    for (uint8_t j = 0; j < nb; ++j) {
+      if (!r.F64(&h.bounds[j])) return false;
+    }
+    h.counts.resize(static_cast<size_t>(nb) + 1);
+    for (size_t j = 0; j < h.counts.size(); ++j) {
+      if (!r.U64(&h.counts[j])) return false;
+    }
+    if (!r.F64(&h.sum)) return false;
+    snapshot.histograms.push_back(std::move(h));
+  }
+  if (!r.U32(&n) || n > kMaxStatsTraces) return false;
+  // Traces are the last section and fixed-size: the byte count must match
+  // exactly (mirrors the RowIdsResult idiom).
+  constexpr size_t kTraceBytes = 8 + 1 + 2 + 2 + 4 * 4 + 8 + 8 + 1;
+  if (r.remaining() != static_cast<size_t>(n) * kTraceBytes) return false;
+  snapshot.traces.resize(n);
+  for (obs::QueryTrace& t : snapshot.traces) {
+    uint8_t slow = 0;
+    if (!r.U64(&t.seq) || !r.U8(&t.mode) || !r.U16(&t.predicates) ||
+        !r.U16(&t.results) || !r.U32(&t.probe_filters) ||
+        !r.U32(&t.merge_intersects) || !r.U32(&t.refine_hints) ||
+        !r.U32(&t.pieces_created) || !r.U64(&t.bytes_scanned) ||
+        !r.F64(&t.latency_seconds) || !r.U8(&slow)) {
+      return false;
+    }
+    t.slow = slow != 0;
+  }
+  return true;
+}
+
 void ErrorMsg::Encode(WireWriter& w) const {
   w.U16(static_cast<uint16_t>(code));
   w.Str(message);
@@ -320,6 +418,8 @@ const char* MsgTypeName(MsgType t) {
     case MsgType::kError: return "Error";
     case MsgType::kExecuteQuery: return "ExecuteQuery";
     case MsgType::kExecuteQueryResult: return "ExecuteQueryResult";
+    case MsgType::kGetStats: return "GetStats";
+    case MsgType::kGetStatsResult: return "GetStatsResult";
   }
   return "?";
 }

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/types.h"
 
 namespace holix::net {
@@ -61,7 +62,8 @@ inline constexpr uint32_t kMagic = 0x484C5850;
 /// Protocol version spoken by this build. Bumped on any wire change.
 /// v2: typed scalars (int64/double) in range bounds, update values and
 /// sum results. v3: the generic multi-predicate ExecuteQuery frame.
-inline constexpr uint16_t kProtocolVersion = 3;
+/// v4: the GetStats telemetry frame (metrics snapshot + query traces).
+inline constexpr uint16_t kProtocolVersion = 4;
 /// Hard cap on one frame's payload (validated before allocation). Large
 /// enough for a 2M-rowid select result, small enough that a malformed
 /// length can never balloon memory.
@@ -72,6 +74,10 @@ inline constexpr size_t kMaxStringBytes = 1024;
 inline constexpr size_t kMaxQueryPredicates = 16;
 /// Hard cap on an ExecuteQuery result list (validated before allocation).
 inline constexpr size_t kMaxQueryResults = 8;
+/// Hard caps on one GetStatsResult snapshot (validated before allocation).
+inline constexpr size_t kMaxStatsSeries = 16384;  ///< counters or gauges
+inline constexpr size_t kMaxStatsHistograms = 1024;
+inline constexpr size_t kMaxStatsTraces = 4096;
 /// Bytes of the fixed frame header (len + type + request id).
 inline constexpr size_t kFrameHeaderBytes = 4 + 1 + 8;
 
@@ -104,9 +110,11 @@ enum class MsgType : uint8_t {
   kError = 19,
   kExecuteQuery = 20,        ///< v3: declarative multi-predicate query.
   kExecuteQueryResult = 21,  ///< v3: its typed values + optional rowids.
+  kGetStats = 22,            ///< v4: request the server's metrics snapshot.
+  kGetStatsResult = 23,      ///< v4: counters/gauges/histograms + traces.
 };
 inline constexpr uint8_t kMaxMsgType =
-    static_cast<uint8_t>(MsgType::kExecuteQueryResult);
+    static_cast<uint8_t>(MsgType::kGetStatsResult);
 
 /// Error frame codes.
 enum class ErrorCode : uint16_t {
@@ -413,6 +421,26 @@ struct ExecuteQueryResult {
   static constexpr MsgType kType = MsgType::kExecuteQueryResult;
   std::vector<KeyScalar> values;
   std::vector<uint64_t> rowids;
+  void Encode(WireWriter& w) const;
+  bool Decode(WireReader& r);
+};
+
+/// v4: asks the server for its metrics snapshot. Served inline on the IO
+/// loop without entering the request-counting path, so reading the stats
+/// plane does not perturb the series it reports.
+struct GetStatsReq {
+  static constexpr MsgType kType = MsgType::kGetStats;
+  void Encode(WireWriter&) const {}
+  bool Decode(WireReader&) { return true; }
+};
+
+/// v4: the full metrics snapshot — name-sorted counters, gauges and
+/// histograms plus the recent-query trace ring. Every count is validated
+/// against its cap before any vector grows; the payload is bounded by
+/// kMaxPayloadBytes like any other frame.
+struct GetStatsResult {
+  static constexpr MsgType kType = MsgType::kGetStatsResult;
+  obs::MetricsSnapshot snapshot;
   void Encode(WireWriter& w) const;
   bool Decode(WireReader& r);
 };

@@ -13,9 +13,11 @@
 #include <cstring>
 #include <future>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 #include "engine/database.h"
+#include "obs/metrics.h"
 #include "server/shared_scan.h"
 
 namespace holix::net {
@@ -26,6 +28,38 @@ namespace {
 /// never collide with these small integers.
 constexpr uint64_t kWakeTag = 0;
 constexpr uint64_t kListenTag = 1;
+constexpr uint64_t kMetricsListenTag = 2;
+
+/// Creates, binds and listens a nonblocking TCP socket; returns the fd and
+/// writes the resolved port (ephemeral binds) to \p out_port. Throws on
+/// failure.
+int BindListener(const std::string& address, uint16_t port, int backlog,
+                 uint16_t* out_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad bind address: " + address);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, backlog) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("bind/listen: " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *out_port = ntohs(addr.sin_port);
+  return fd;
+}
 
 }  // namespace
 
@@ -35,46 +69,46 @@ HolixServer::HolixServer(Database& db, ServerOptions options)
   if (options_.shared_scans) {
     coalescer_ = std::make_unique<SharedScanCoalescer>(db_);
   }
+  auto& reg = obs::MetricsRegistry::Global();
+  sharedscan_batches_base_ =
+      reg.GetCounter("holix_sharedscan_batches_total").Value();
+  sharedscan_requests_base_ =
+      reg.GetCounter("holix_sharedscan_requests_total").Value();
 }
 
 HolixServer::~HolixServer() { Stop(); }
 
 uint64_t HolixServer::SharedScanBatches() const {
-  return coalescer_ != nullptr ? coalescer_->BatchesRun() : 0;
+  if (coalescer_ == nullptr) return 0;
+  return obs::MetricsRegistry::Global()
+             .GetCounter("holix_sharedscan_batches_total")
+             .Value() -
+         sharedscan_batches_base_;
 }
 
 uint64_t HolixServer::SharedScanRequests() const {
-  return coalescer_ != nullptr ? coalescer_->RequestsCoalesced() : 0;
+  if (coalescer_ == nullptr) return 0;
+  return obs::MetricsRegistry::Global()
+             .GetCounter("holix_sharedscan_requests_total")
+             .Value() -
+         sharedscan_requests_base_;
 }
 
 void HolixServer::Start() {
   if (running_.load(std::memory_order_acquire)) return;
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  listen_fd_ = BindListener(options_.bind_address, options_.port,
+                            options_.backlog, &port_);
+  if (options_.metrics_http || options_.metrics_port != 0) {
+    try {
+      metrics_listen_fd_ = BindListener(options_.bind_address,
+                                        options_.metrics_port,
+                                        options_.backlog, &metrics_port_);
+    } catch (...) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw;
+    }
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bad bind address: " + options_.bind_address);
-  }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-          0 ||
-      ::listen(listen_fd_, options_.backlog) < 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw std::runtime_error("bind/listen: " + err);
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
 
   loops_.clear();
   for (size_t i = 0; i < options_.io_threads; ++i) {
@@ -98,6 +132,12 @@ void HolixServer::Start() {
     ev.events = EPOLLIN;
     ev.data.u64 = kListenTag;
     ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, listen_fd_, &ev);
+    if (metrics_listen_fd_ >= 0) {
+      epoll_event mev{};
+      mev.events = EPOLLIN;
+      mev.data.u64 = kMetricsListenTag;
+      ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_ADD, metrics_listen_fd_, &mev);
+    }
   }
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
@@ -121,6 +161,12 @@ void HolixServer::Stop() {
         ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_DEL, listen_fd_, nullptr);
         ::close(listen_fd_);
         listen_fd_ = -1;
+      }
+      if (metrics_listen_fd_ >= 0) {
+        ::epoll_ctl(loops_[0]->epfd, EPOLL_CTL_DEL, metrics_listen_fd_,
+                    nullptr);
+        ::close(metrics_listen_fd_);
+        metrics_listen_fd_ = -1;
       }
       done.set_value();
     });
@@ -202,6 +248,10 @@ void HolixServer::Stop() {
     if (loop->wakefd >= 0) ::close(loop->wakefd);
   }
   loops_.clear();
+  open_connections_.store(0, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetGauge("holix_server_open_connections")
+      .Set(0.0);
 }
 
 // ---------------------------------------------------------------------------
@@ -249,7 +299,11 @@ void HolixServer::LoopRun(IoLoop& loop) {
         continue;
       }
       if (ev.data.u64 == kListenTag) {
-        AcceptReady(loop);
+        AcceptReady(loop, listen_fd_, /*http=*/false);
+        continue;
+      }
+      if (ev.data.u64 == kMetricsListenTag) {
+        AcceptReady(loop, metrics_listen_fd_, /*http=*/true);
         continue;
       }
       auto* ptr = reinterpret_cast<Connection*>(ev.data.u64);
@@ -285,10 +339,10 @@ void HolixServer::LoopRun(IoLoop& loop) {
   }
 }
 
-void HolixServer::AcceptReady(IoLoop& loop) {
+void HolixServer::AcceptReady(IoLoop& loop, int listen_fd, bool http) {
   for (;;) {
     const int fd =
-        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // EAGAIN: burst drained (or listener closing)
@@ -299,13 +353,33 @@ void HolixServer::AcceptReady(IoLoop& loop) {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    total_connections_.fetch_add(1, std::memory_order_relaxed);
+    if (!http) {
+      // Scrapes don't count as protocol connections: the stats plane
+      // should not perturb what it measures.
+      total_connections_.fetch_add(1, std::memory_order_relaxed);
+      static obs::Counter& accepted = obs::MetricsRegistry::Global().GetCounter(
+          "holix_server_connections_total");
+      static obs::Gauge& open_g = obs::MetricsRegistry::Global().GetGauge(
+          "holix_server_open_connections");
+      static obs::Gauge& peak_g = obs::MetricsRegistry::Global().GetGauge(
+          "holix_server_peak_connections");
+      accepted.Inc();
+      const uint64_t open =
+          open_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+      uint64_t peak = peak_connections_.load(std::memory_order_relaxed);
+      while (open > peak && !peak_connections_.compare_exchange_weak(
+                                peak, open, std::memory_order_relaxed)) {
+      }
+      open_g.Set(static_cast<double>(open));
+      peak_g.Max(static_cast<double>(open));
+    }
     IoLoop& target =
         *loops_[next_loop_.fetch_add(1, std::memory_order_relaxed) %
                 loops_.size()];
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
     conn->loop = &target;
+    conn->http = http;
     if (&target == &loop) {
       RegisterConn(target, conn);
     } else {
@@ -353,17 +427,63 @@ void HolixServer::ReadReady(IoLoop& loop,
     DestroyConn(loop, conn);  // ECONNRESET and friends
     return;
   }
-  DecodeFrames(loop, conn);
+  if (conn->http) {
+    HandleHttp(loop, conn);
+  } else {
+    DecodeFrames(loop, conn);
+  }
   if (loop.conns.find(conn.get()) == loop.conns.end()) return;
   FlushWrites(loop, conn);
 }
 
+void HolixServer::HandleHttp(IoLoop& loop,
+                             const std::shared_ptr<Connection>& conn) {
+  // Minimal one-shot HTTP: wait for the end of the request head, answer,
+  // close. No keep-alive, no chunking — exactly what a Prometheus scrape
+  // or `curl` needs, served without leaving the event loop.
+  const std::string_view buf(reinterpret_cast<const char*>(conn->rbuf.data()),
+                             conn->rbuf.size());
+  const size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string_view::npos) {
+    if (conn->rbuf.size() > 16 * 1024 || conn->read_eof) {
+      DestroyConn(loop, conn);  // oversized or truncated request head
+    }
+    return;
+  }
+  const std::string_view head = buf.substr(0, head_end);
+  const std::string_view request_line = head.substr(0, head.find("\r\n"));
+  std::string status = "404 Not Found";
+  std::string body = "try GET /metrics\n";
+  std::string content_type = "text/plain; charset=utf-8";
+  if (request_line.rfind("GET /metrics", 0) == 0) {
+    status = "200 OK";
+    body = obs::PrometheusText(db_.MetricsSnapshot());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  }
+  std::string response = "HTTP/1.0 " + status +
+                         "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " + std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" +
+                         body;
+  conn->rbuf.clear();
+  EnqueueLoop(loop, conn,
+              std::vector<uint8_t>(response.begin(), response.end()));
+  conn->close_after_flush = true;
+  UpdateInterest(loop, *conn);
+}
+
 void HolixServer::DecodeFrames(IoLoop& loop,
                                const std::shared_ptr<Connection>& conn) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& decode_errors =
+      reg.GetCounter("holix_server_decode_errors_total");
+  static obs::Counter& backpressure =
+      reg.GetCounter("holix_server_backpressure_toggles_total");
   size_t off = 0;
   while (!conn->draining && !conn->close_after_flush) {
     if (ShouldPause(*conn)) {
       conn->paused = true;
+      backpressure.Inc();
       break;
     }
     Frame f;
@@ -374,6 +494,7 @@ void HolixServer::DecodeFrames(IoLoop& loop,
                        &consumed, &error);
     if (st == DecodeStatus::kNeedMore) break;
     if (st == DecodeStatus::kMalformed) {
+      decode_errors.Inc();
       EnqueueError(loop, conn, 0, ErrorCode::kMalformedFrame, error);
       conn->close_after_flush = true;
       break;
@@ -382,12 +503,14 @@ void HolixServer::DecodeFrames(IoLoop& loop,
     if (!conn->handshaken) {
       Hello hello;
       if (f.type != MsgType::kHello || !DecodeMessage(f, &hello)) {
+        decode_errors.Inc();
         EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
                      "expected Hello");
         conn->close_after_flush = true;
         break;
       }
       if (hello.magic != kMagic || hello.version != kProtocolVersion) {
+        decode_errors.Inc();
         EnqueueError(loop, conn, f.request_id, ErrorCode::kVersionMismatch,
                      "server speaks protocol version " +
                          std::to_string(kProtocolVersion));
@@ -461,6 +584,9 @@ void HolixServer::FlushWrites(IoLoop& loop,
   // resume decoding whatever already sits in the read buffer.
   if (conn->paused && !ShouldPause(*conn)) {
     conn->paused = false;
+    static obs::Counter& backpressure = obs::MetricsRegistry::Global()
+        .GetCounter("holix_server_backpressure_toggles_total");
+    backpressure.Inc();
     DecodeFrames(loop, conn);
     if (loop.conns.find(conn.get()) == loop.conns.end()) return;
   }
@@ -495,7 +621,13 @@ void HolixServer::DestroyConn(IoLoop& loop,
     ::close(conn->fd);
     conn->fd = -1;
   }
-  loop.conns.erase(conn.get());
+  if (loop.conns.erase(conn.get()) > 0 && !conn->http) {
+    const uint64_t open =
+        open_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
+    obs::MetricsRegistry::Global()
+        .GetGauge("holix_server_open_connections")
+        .Set(static_cast<double>(open));
+  }
   // In-flight queries against this connection finish on the pool and see
   // `closed`; their completions are dropped. The shared_ptr in their
   // closures keeps the Connection (and its sessions) alive until then.
@@ -540,18 +672,29 @@ void HolixServer::BeginRequest(Connection& conn) {
   }
   global_in_flight_.fetch_add(1, std::memory_order_relaxed);
   total_requests_.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& requests = reg.GetCounter("holix_server_requests_total");
+  static obs::Gauge& in_flight = reg.GetGauge("holix_server_in_flight");
+  requests.Inc();
+  in_flight.Add(1.0);
 }
 
 void HolixServer::CompleteRequest(const std::shared_ptr<Connection>& conn,
                                   std::vector<uint8_t> frame) {
+  auto& reg = obs::MetricsRegistry::Global();
+  static obs::Counter& outbox_bytes =
+      reg.GetCounter("holix_server_outbox_bytes_total");
+  static obs::Gauge& in_flight = reg.GetGauge("holix_server_in_flight");
   {
     std::lock_guard<std::mutex> lk(conn->out_mu);
     --conn->in_flight;
     if (!conn->closed) {
+      outbox_bytes.Inc(frame.size());
       conn->outbox_bytes += frame.size();
       conn->outbox.push_back(std::move(frame));
     }
   }
+  in_flight.Add(-1.0);
   NotifyDirty(conn);
   // Decrement strictly after NotifyDirty: Stop() takes global == 0 to mean
   // every completion is visible to its loop.
@@ -851,6 +994,24 @@ bool HolixServer::HandleFrame(IoLoop& loop,
               return EncodeMessage(id, res);
             };
           });
+    case MsgType::kGetStats: {
+      GetStatsReq req;
+      if (!DecodeMessage(f, &req)) {
+        EnqueueError(loop, conn, f.request_id, ErrorCode::kMalformedFrame,
+                     "malformed GetStats");
+        return false;
+      }
+      // Served inline on the loop thread, with no BeginRequest: the stats
+      // plane must not count itself into the request totals or the
+      // in-flight window it reports. Both this path and the in-process
+      // Database::MetricsSnapshot() go through the same function, so a
+      // quiesced engine answers bit-identically over the wire and in
+      // process.
+      GetStatsResult res;
+      res.snapshot = db_.MetricsSnapshot();
+      EnqueueLoop(loop, conn, EncodeMessage(f.request_id, res));
+      return true;
+    }
     default:
       EnqueueError(loop, conn, f.request_id, ErrorCode::kUnknownMessage,
                    std::string("unexpected ") + MsgTypeName(f.type));

@@ -93,6 +93,13 @@ struct ServerOptions {
   /// Coalesce concurrent same-column count requests into shared scans.
   bool shared_scans = true;
 
+  /// Serve a plain-HTTP `GET /metrics` endpoint (Prometheus text
+  /// exposition) on the event loop. Enabled by metrics_http or a nonzero
+  /// metrics_port; port 0 with metrics_http binds an ephemeral port (read
+  /// the result from metrics_port()).
+  bool metrics_http = false;
+  uint16_t metrics_port = 0;
+
   /// Seconds Stop() keeps flushing response bytes to peers that read
   /// slowly; a peer that stopped reading entirely is cut off after this.
   double drain_flush_seconds = 5.0;
@@ -120,6 +127,9 @@ class HolixServer {
   /// The bound TCP port (valid after Start(); resolves ephemeral binds).
   uint16_t port() const { return port_; }
 
+  /// The bound metrics-endpoint port (0 when the endpoint is disabled).
+  uint16_t metrics_port() const { return metrics_port_; }
+
   /// True between successful Start() and Stop().
   bool running() const { return running_.load(std::memory_order_acquire); }
 
@@ -133,7 +143,15 @@ class HolixServer {
     return total_requests_.load(std::memory_order_relaxed);
   }
 
+  /// High-water mark of concurrently open protocol connections.
+  uint64_t PeakConnections() const {
+    return peak_connections_.load(std::memory_order_relaxed);
+  }
+
   /// Count-range batches the shared-scan coalescer ran (0 when off).
+  /// Snapshot reads of the global holix_sharedscan_* registry series,
+  /// relative to a baseline captured at construction, so the value covers
+  /// exactly this server's lifetime.
   uint64_t SharedScanBatches() const;
   /// Requests answered through those batches.
   uint64_t SharedScanRequests() const;
@@ -150,6 +168,7 @@ class HolixServer {
 
     // --- loop-thread-only ---------------------------------------------
     std::vector<uint8_t> rbuf;
+    bool http = false;  ///< Accepted on the metrics port: speaks HTTP.
     bool handshaken = false;
     bool paused = false;    ///< EPOLLIN interest dropped (backpressure).
     bool draining = false;  ///< Stop(): no further frames are decoded.
@@ -190,9 +209,13 @@ class HolixServer {
   /// Called from pool threads after parking a response in the outbox.
   void NotifyDirty(const std::shared_ptr<Connection>& conn);
 
-  void AcceptReady(IoLoop& loop);
+  void AcceptReady(IoLoop& loop, int listen_fd, bool http);
   void RegisterConn(IoLoop& loop, const std::shared_ptr<Connection>& conn);
   void ReadReady(IoLoop& loop, const std::shared_ptr<Connection>& conn);
+  /// Serves `GET /metrics` (Prometheus text exposition) on a metrics-port
+  /// connection; any other request is answered 404. One-shot HTTP/1.0:
+  /// the response is flushed and the connection closed.
+  void HandleHttp(IoLoop& loop, const std::shared_ptr<Connection>& conn);
   /// Decodes every complete frame in rbuf (until backpressure pauses).
   void DecodeFrames(IoLoop& loop, const std::shared_ptr<Connection>& conn);
   /// Moves the outbox into the write queue and writes until EAGAIN or
@@ -231,6 +254,8 @@ class HolixServer {
   ServerOptions options_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
+  int metrics_listen_fd_ = -1;
+  uint16_t metrics_port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::vector<std::unique_ptr<IoLoop>> loops_;
@@ -243,6 +268,14 @@ class HolixServer {
 
   std::atomic<uint64_t> total_connections_{0};
   std::atomic<uint64_t> total_requests_{0};
+  std::atomic<uint64_t> open_connections_{0};
+  std::atomic<uint64_t> peak_connections_{0};
+  /// Registry values of the holix_sharedscan_* counters at construction;
+  /// SharedScanBatches()/SharedScanRequests() report deltas against these
+  /// so the accessors cover exactly this server's lifetime even though the
+  /// registry is process-global.
+  uint64_t sharedscan_batches_base_ = 0;
+  uint64_t sharedscan_requests_base_ = 0;
 };
 
 }  // namespace holix::net

@@ -3,6 +3,7 @@
 #include <exception>
 
 #include "engine/database.h"
+#include "obs/metrics.h"
 
 namespace holix::net {
 
@@ -13,7 +14,6 @@ std::shared_ptr<SharedScanCoalescer::ColumnState> SharedScanCoalescer::StateFor(
   if (st == nullptr) {
     st = std::make_shared<ColumnState>();
     st->handle = column;
-    st->stats = stats_;
   }
   return st;
 }
@@ -49,8 +49,17 @@ void SharedScanCoalescer::RunBatches(Database& db,
       }
       batch.swap(st->queue);
     }
-    st->stats->batches.fetch_add(1, std::memory_order_relaxed);
-    st->stats->requests.fetch_add(batch.size(), std::memory_order_relaxed);
+    auto& reg = obs::MetricsRegistry::Global();
+    static obs::Counter& batches =
+        reg.GetCounter("holix_sharedscan_batches_total");
+    static obs::Counter& requests =
+        reg.GetCounter("holix_sharedscan_requests_total");
+    static obs::Histogram& batch_size = reg.GetHistogram(
+        "holix_sharedscan_batch_size",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024});
+    batches.Inc();
+    requests.Inc(batch.size());
+    batch_size.Observe(static_cast<double>(batch.size()));
     std::vector<std::pair<KeyScalar, KeyScalar>> ranges;
     ranges.reserve(batch.size());
     for (const PendingReq& r : batch) ranges.emplace_back(r.low, r.high);

@@ -60,22 +60,12 @@ class SharedScanCoalescer {
   void Submit(const ColumnHandle& column, KeyScalar low, KeyScalar high,
               Done done);
 
-  /// Batches run over the coalescer's lifetime (a batch of one is still a
-  /// batch: it went through the shared-scan path).
-  uint64_t BatchesRun() const {
-    return stats_->batches.load(std::memory_order_relaxed);
-  }
-  /// Requests answered through batches.
-  uint64_t RequestsCoalesced() const {
-    return stats_->requests.load(std::memory_order_relaxed);
-  }
+  // Batch/request counts live in the global metrics registry
+  // (holix_sharedscan_batches_total / holix_sharedscan_requests_total /
+  // the holix_sharedscan_batch_size histogram); HolixServer exposes them
+  // as baseline-relative snapshot reads.
 
  private:
-  struct Stats {
-    std::atomic<uint64_t> batches{0};
-    std::atomic<uint64_t> requests{0};
-  };
-
   struct PendingReq {
     KeyScalar low;
     KeyScalar high;
@@ -87,7 +77,6 @@ class SharedScanCoalescer {
   /// server's drain contract, but cheap to make safe) touches live memory.
   struct ColumnState {
     ColumnHandle handle;
-    std::shared_ptr<Stats> stats;
     std::mutex mu;
     bool busy = false;
     std::vector<PendingReq> queue;
@@ -98,7 +87,6 @@ class SharedScanCoalescer {
   static void RunBatches(Database& db, std::shared_ptr<ColumnState> st);
 
   Database& db_;
-  std::shared_ptr<Stats> stats_ = std::make_shared<Stats>();
   std::mutex map_mu_;
   std::unordered_map<const ColumnEntry*, std::shared_ptr<ColumnState>> cols_;
 };

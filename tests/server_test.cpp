@@ -88,6 +88,8 @@ class RawConn {
     }
   }
 
+  int fd() const { return fd_; }
+
   /// Abruptly resets the connection: SO_LINGER 0 turns close() into RST,
   /// the rudest disconnect a peer can deliver.
   void Reset() {
@@ -663,6 +665,89 @@ TEST(Server, SharedScanCoalescesConcurrentCountsBitEqual) {
   EXPECT_EQ(server.SharedScanRequests(), 64u);
   EXPECT_GE(server.SharedScanBatches(), 1u);
   EXPECT_LE(server.SharedScanBatches(), 64u);
+  server.Stop();
+}
+
+/// The wire stats plane is the in-process stats plane: on a quiesced
+/// engine, GetStats over loopback decodes to exactly the snapshot
+/// Database::MetricsSnapshot() returns — every counter, gauge, histogram
+/// bucket and trace-ring entry.
+TEST(Server, GetStatsMatchesInProcessSnapshot) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(50000, kDomain, 35);
+  db.LoadColumn("r", "a", data);
+  HolixServer server(db);
+  server.Start();
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+
+  // Generate telemetry: synchronous queries, fully drained before the
+  // snapshot (each call returns only after its response frame arrived).
+  uint64_t total = 0;
+  for (int i = 0; i < 16; ++i) {
+    total += client.CountRange(sid, "r", "a", i * 1000, i * 1000 + 50000);
+  }
+  EXPECT_GT(total, 0u);
+
+  const obs::MetricsSnapshot wire = client.GetStats();
+  const obs::MetricsSnapshot local = db.MetricsSnapshot();
+  EXPECT_EQ(wire, local);
+
+  // The snapshot is live telemetry, not zeros.
+  EXPECT_GT(wire.CounterValue("holix_queries_total{mode=\"adaptive\"}"), 0u);
+  EXPECT_GT(wire.CounterValue("holix_scan_bytes_total"), 0u);
+  EXPECT_GT(wire.CounterValue("holix_server_requests_total"), 0u);
+  EXPECT_GT(wire.GaugeValue("holix_index_pieces"), 0.0);
+  EXPECT_FALSE(wire.traces.empty());
+  // GetStats itself is not a counted request: back-to-back snapshots with
+  // no queries in between agree on the request total.
+  const obs::MetricsSnapshot again = client.GetStats();
+  EXPECT_EQ(again.CounterValue("holix_server_requests_total"),
+            wire.CounterValue("holix_server_requests_total"));
+  server.Stop();
+}
+
+/// The plain-HTTP metrics endpoint serves Prometheus text on the same
+/// event loop, and non-/metrics paths get a 404.
+TEST(Server, HttpMetricsEndpointServesPrometheusText) {
+  Database db(SmallDbOptions());
+  const auto data = test::MakeUniform(20000, kDomain, 36);
+  db.LoadColumn("r", "a", data);
+  ServerOptions opts;
+  opts.metrics_http = true;  // ephemeral metrics port
+  HolixServer server(db, opts);
+  server.Start();
+  ASSERT_NE(server.metrics_port(), 0);
+
+  HolixClient client;
+  client.Connect("127.0.0.1", server.port());
+  const uint64_t sid = client.OpenSession();
+  client.CountRange(sid, "r", "a", 0, kDomain / 2);
+
+  auto http_get = [&](const std::string& path) {
+    RawConn raw(server.metrics_port());
+    const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    raw.Send({req.begin(), req.end()});
+    std::string resp;
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(raw.fd(), buf, sizeof(buf), 0);
+      if (n <= 0) break;  // server closes after the response
+      resp.append(buf, static_cast<size_t>(n));
+    }
+    return resp;
+  };
+
+  const std::string resp = http_get("/metrics");
+  EXPECT_NE(resp.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("holix_queries_total"), std::string::npos);
+  EXPECT_NE(resp.find("holix_scan_bytes_total"), std::string::npos);
+  EXPECT_NE(resp.find("_bucket{le="), std::string::npos);
+  EXPECT_NE(http_get("/nope").find("HTTP/1.0 404"), std::string::npos);
+
+  // Scrapes are not protocol connections or requests.
+  EXPECT_EQ(server.TotalConnections(), 1u);
   server.Stop();
 }
 
