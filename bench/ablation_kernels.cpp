@@ -1,10 +1,12 @@
 /// \file ablation_kernels.cpp
 /// \brief End-to-end ablation of the cracking kernel choice (§4.2 / [44]):
 /// the same adaptive-indexing workload executed with the branchy scalar
-/// kernel, the predicated out-of-place kernel, and parallel refined
-/// partition & merge at several thread counts.
+/// kernel, the predicated out-of-place kernel, the SIMD compress-store
+/// tier, and parallel cracking (static slices vs. work-stealing morsels)
+/// at several thread counts.
 
 #include "bench_common.h"
+#include "cracking/crack_kernels_simd.h"
 #include "cracking/cracker_column.h"
 #include "util/timer.h"
 
@@ -28,14 +30,23 @@ int main() {
     std::string label;
     CrackAlgo algo;
     size_t threads;
+    ParallelCrackMode mode;
   };
   std::vector<Variant> variants = {
-      {"scalar (branchy, in-place)", CrackAlgo::kScalar, 1},
-      {"out-of-place (predicated)", CrackAlgo::kOutOfPlace, 1},
+      {"scalar (branchy, in-place)", CrackAlgo::kScalar, 1,
+       ParallelCrackMode::kMorsels},
+      {"out-of-place (predicated)", CrackAlgo::kOutOfPlace, 1,
+       ParallelCrackMode::kMorsels},
+      {"simd (" + std::string(SimdLevelName(DetectSimdLevel())) + ")",
+       CrackAlgo::kSimd, 1, ParallelCrackMode::kMorsels},
   };
   for (size_t th = 2; th <= env.cores; th *= 2) {
-    variants.push_back({"parallel x" + std::to_string(th),
-                        CrackAlgo::kParallel, th});
+    variants.push_back({"parallel-static x" + std::to_string(th),
+                        CrackAlgo::kParallel, th,
+                        ParallelCrackMode::kStaticSlices});
+    variants.push_back({"parallel-morsel x" + std::to_string(th),
+                        CrackAlgo::kParallel, th,
+                        ParallelCrackMode::kMorsels});
   }
 
   ReportTable t("Ablation: cracking kernel, 1-attribute workload");
@@ -46,6 +57,7 @@ int main() {
     cfg.algo = v.algo;
     cfg.pool = &pool;
     cfg.parallel_threads = v.threads;
+    cfg.parallel_mode = v.mode;
     CrackerColumn<int64_t> col("a0", base);
     ResponseSeries series;
     for (const auto& q : queries) {
@@ -58,7 +70,8 @@ int main() {
   }
   t.Print();
   SaveBenchJson(t, "ablation_kernels");
-  std::printf("\n# [44]: out-of-place beats the branchy kernel; parallel "
-              "cracking accelerates the big early cracks\n");
+  std::printf("\n# [44]: out-of-place beats the branchy kernel, SIMD beats "
+              "both; parallel cracking accelerates the big early cracks and "
+              "morsel stealing beats static slices under skew\n");
   return 0;
 }

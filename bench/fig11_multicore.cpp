@@ -27,33 +27,53 @@ int main() {
   core_counts.push_back(env.cores);
 
   ReportTable t("Fig 11: total processing cost (s) vs cores");
-  t.SetHeader({"cores", "mP-CCGI", "PVDC", "PVSDC", "HI", "HI split"});
+  t.SetHeader({"cores", "mP-CCGI", "PVDC", "PVSDC", "HI", "HI split",
+               "checksum"});
+  bool checksums_ok = true;
   for (size_t c : core_counts) {
     std::vector<std::string> row = {std::to_string(c)};
+    // Every mode answers the same workload over the same data, so the
+    // per-mode result checksums must agree; one shared cell per row keeps
+    // the committed baseline a correctness probe as well as a perf gate.
+    std::vector<uint64_t> sums;
     {
       DatabaseOptions o = PlainOptions(ExecMode::kCCGI, c);
       o.ccgi_chunks = c;
-      row.push_back(FormatSeconds(RunMode(o, env, attrs, queries).series.Total()));
+      const RunResult r = RunMode(o, env, attrs, queries);
+      row.push_back(FormatSeconds(r.series.Total()));
+      sums.push_back(r.result_checksum);
     }
-    row.push_back(FormatSeconds(
-        RunMode(PlainOptions(ExecMode::kAdaptive, c), env, attrs, queries)
-            .series.Total()));
-    row.push_back(FormatSeconds(
-        RunMode(PlainOptions(ExecMode::kStochastic, c), env, attrs, queries)
-            .series.Total()));
+    for (const ExecMode mode :
+         {ExecMode::kAdaptive, ExecMode::kStochastic}) {
+      const RunResult r =
+          RunMode(PlainOptions(mode, c), env, attrs, queries);
+      row.push_back(FormatSeconds(r.series.Total()));
+      sums.push_back(r.result_checksum);
+    }
     // Half the cores to user queries, half to workers (z=2 when possible).
     const size_t u = std::max<size_t>(1, c / 2);
     const size_t z = c >= 8 ? 2 : 1;
     const size_t w = std::max<size_t>(1, (c - u) / z);
-    row.push_back(FormatSeconds(
-        RunMode(HolisticOptions(u, w, z, c), env, attrs, queries)
-            .series.Total()));
+    {
+      const RunResult r =
+          RunMode(HolisticOptions(u, w, z, c), env, attrs, queries);
+      row.push_back(FormatSeconds(r.series.Total()));
+      sums.push_back(r.result_checksum);
+    }
     row.push_back(SplitLabel(u, w, z));
+    for (uint64_t s : sums) {
+      if (s != sums.front()) checksums_ok = false;
+    }
+    row.push_back(checksums_ok ? std::to_string(sums.front()) : "MISMATCH");
     t.AddRow(row);
   }
   t.Print();
   SaveBenchJson(t, "fig11");
   std::printf("\n# paper: all methods improve with cores; HI wins at every "
               "core count because it is active all the time\n");
+  if (!checksums_ok) {
+    std::fprintf(stderr, "# FAIL: result checksums diverged across modes\n");
+    return 1;
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 ///
 ///   holix_server [--port N] [--mode adaptive|holistic|...] [--rows N]
 ///                [--attrs N] [--threads N] [--io-threads N]
+///                [--kernel scalar|oop|parallel|simd]
 ///                [--no-shared-scans] [--seed N] [--metrics-port N]
 ///
 /// `--port 0` (the default) binds an ephemeral port; the chosen port is
@@ -52,6 +53,13 @@ holix::ExecMode ParseMode(const std::string& name) {
   std::exit(2);
 }
 
+holix::CrackAlgo ParseKernel(const std::string& name) {
+  if (auto algo = holix::CrackAlgoFromString(name)) return *algo;
+  std::fprintf(stderr, "unknown kernel '%s' (scalar|oop|parallel|simd)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,6 +69,7 @@ int main(int argc, char** argv) {
   size_t attrs = 4;
   size_t threads = 2;
   size_t io_threads = 2;
+  holix::CrackAlgo kernel = holix::CrackAlgo::kParallel;
   bool shared_scans = true;
   uint64_t seed = 1907;
   uint16_t metrics_port = 0;
@@ -86,6 +95,8 @@ int main(int argc, char** argv) {
       threads = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--io-threads") {
       io_threads = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--kernel") {
+      kernel = ParseKernel(next());
     } else if (arg == "--no-shared-scans") {
       shared_scans = false;
     } else if (arg == "--seed") {
@@ -97,6 +108,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: holix_server [--port N] [--mode M] [--rows N] "
                    "[--attrs N] [--threads N] [--io-threads N] "
+                   "[--kernel scalar|oop|parallel|simd] "
                    "[--no-shared-scans] [--seed N] [--metrics-port N]\n");
       return arg == "--help" ? 0 : 2;
     }
@@ -105,6 +117,7 @@ int main(int argc, char** argv) {
   holix::DatabaseOptions opts;
   opts.mode = mode;
   opts.user_threads = threads;
+  opts.kernel = kernel;
   holix::Database db(opts);
   holix::LoadUniformTable(db, "r", attrs, rows, /*domain=*/int64_t{1} << 30,
                           seed);

@@ -28,6 +28,7 @@
 
 #include "cracking/crack_config.h"
 #include "cracking/crack_kernels.h"
+#include "cracking/crack_kernels_simd.h"
 #include "cracking/cracker_index.h"
 #include "cracking/parallel_crack.h"
 #include "obs/metrics.h"
@@ -540,12 +541,18 @@ class CrackerColumn {
             });
       case CrackAlgo::kParallel:
         if (cfg.pool != nullptr && cfg.parallel_threads > 1) {
+          ParallelCrackOptions opts;
+          opts.threads = cfg.parallel_threads;
+          opts.min_parallel_piece = cfg.min_parallel_piece;
+          opts.mode = cfg.parallel_mode;
+          opts.morsel_rows = cfg.morsel_rows;
           return ParallelCrackInTwo(values_.data(), rowids_.data(), begin,
-                                    end, pivot, *cfg.pool,
-                                    cfg.parallel_threads,
-                                    cfg.min_parallel_piece);
+                                    end, pivot, *cfg.pool, opts);
         }
         [[fallthrough]];
+      case CrackAlgo::kSimd:
+        return CrackInTwoSimd(values_.data(), rowids_.data(), begin, end,
+                              pivot, ThreadLocalCrackScratch<T>());
       case CrackAlgo::kOutOfPlace:
         return CrackInTwoOutOfPlace(values_.data(), rowids_.data(), begin,
                                     end, pivot,

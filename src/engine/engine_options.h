@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "cracking/crack_config.h"
 #include "holistic/holistic_engine.h"
 
 namespace holix {
@@ -45,6 +46,13 @@ struct DatabaseOptions {
 
   /// kCCGI: number of coarse chunks (0 = user_threads).
   size_t ccgi_chunks = 0;
+
+  /// Crack kernel of the user-query select path. kParallel uses the
+  /// morsel-driven scheme across `user_threads` contexts (each morsel
+  /// cracked by the SIMD tier); kSimd forces single-threaded SIMD cracks;
+  /// kScalar / kOutOfPlace pin the legacy kernels. All choices produce the
+  /// same query results — kOutOfPlace/kSimd/kParallel even the same bytes.
+  CrackAlgo kernel = CrackAlgo::kParallel;
 
   /// kHolistic: engine knobs (workers, x, strategy, budget, ...).
   HolisticConfig holistic;

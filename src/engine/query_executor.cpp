@@ -1078,7 +1078,7 @@ class CrackingExecutor : public ExecutorBase {
   /// The crack configuration of one select; overridden by kStochastic.
   virtual CrackConfig QueryCrackConfig(const QueryContext&) const {
     CrackConfig cfg;
-    cfg.algo = CrackAlgo::kParallel;
+    cfg.algo = ctx_.options->kernel;
     cfg.pool = ctx_.query_pool;
     cfg.parallel_threads = ctx_.options->user_threads;
     return cfg;

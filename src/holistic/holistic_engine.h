@@ -53,8 +53,10 @@ struct HolisticConfig {
   /// SlotCpuMonitor supports much shorter cycles for scaled-down runs.
   double monitor_interval_seconds = 0.002;
 
-  /// Kernel used by single-thread worker refinements.
-  CrackAlgo worker_algo = CrackAlgo::kOutOfPlace;
+  /// Kernel used by single-thread worker refinements. The SIMD tier
+  /// dispatches by CPUID and produces the same bytes as kOutOfPlace, so
+  /// this default is safe on any host.
+  CrackAlgo worker_algo = CrackAlgo::kSimd;
 
   /// How workers aim their cracks. The paper argues kRandom is best; the
   /// alternatives exist for the design-decision ablation (§4.2).

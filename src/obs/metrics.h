@@ -29,6 +29,9 @@
 /// |---------------------------------------------|-----------|--------|
 /// | holix_cracks_total                          | counter   | crack-in-two/three kernel invocations |
 /// | holix_crack_bytes_moved_total               | counter   | bytes partitioned by crack kernels |
+/// | holix_crack_simd_ops_total                  | counter   | cracks served by the SIMD tier (vs fallback) |
+/// | holix_crack_morsels_total                   | counter   | morsels executed by parallel cracks |
+/// | holix_crack_morsel_steals_total             | counter   | morsels stolen from another worker's deque |
 /// | holix_pieces_created_total                  | counter   | piece boundaries inserted |
 /// | holix_scan_bytes_total                      | counter   | bytes read by piece scans |
 /// | holix_ripple_merged_inserts_total           | counter   | pending inserts merged (Ripple) |

@@ -8,11 +8,15 @@ namespace holix {
 
 namespace {
 
-std::atomic<size_t> g_override{0};
+std::atomic<size_t> g_l1_override{0};
+std::atomic<size_t> g_l2_override{0};
 
-size_t DetectL1() {
-  // sysfs exposes per-cpu cache indices; index0 or index1 is the L1D.
-  for (int index = 0; index < 4; ++index) {
+/// Reads the size of the first cpu0 cache at \p want_level whose type is
+/// Data or Unified; returns 0 when sysfs has no such entry.
+size_t DetectCacheLevel(int want_level) {
+  // sysfs exposes per-cpu cache indices; the L1D is index0 or index1, the
+  // unified L2 usually index2.
+  for (int index = 0; index < 8; ++index) {
     const std::string base =
         "/sys/devices/system/cpu/cpu0/cache/index" + std::to_string(index);
     std::ifstream level_f(base + "/level");
@@ -20,7 +24,7 @@ size_t DetectL1() {
     int level = 0;
     std::string type;
     if (!(level_f >> level) || !(type_f >> type)) continue;
-    if (level != 1 || (type != "Data" && type != "Unified")) continue;
+    if (level != want_level || (type != "Data" && type != "Unified")) continue;
     std::ifstream size_f(base + "/size");
     std::string size_str;
     if (!(size_f >> size_str)) continue;
@@ -40,20 +44,37 @@ size_t DetectL1() {
       continue;
     }
   }
-  return 32 * 1024;  // Conservative default: 32 KiB.
+  return 0;
 }
 
 }  // namespace
 
 size_t L1DataCacheBytes() {
-  const size_t forced = g_override.load(std::memory_order_relaxed);
+  const size_t forced = g_l1_override.load(std::memory_order_relaxed);
   if (forced != 0) return forced;
-  static const size_t detected = DetectL1();
+  static const size_t detected = [] {
+    const size_t bytes = DetectCacheLevel(1);
+    return bytes != 0 ? bytes : size_t{32} * 1024;  // Conservative default.
+  }();
+  return detected;
+}
+
+size_t L2CacheBytes() {
+  const size_t forced = g_l2_override.load(std::memory_order_relaxed);
+  if (forced != 0) return forced;
+  static const size_t detected = [] {
+    const size_t bytes = DetectCacheLevel(2);
+    return bytes != 0 ? bytes : size_t{1} * 1024 * 1024;  // 1 MiB default.
+  }();
   return detected;
 }
 
 void OverrideL1DataCacheBytes(size_t bytes) {
-  g_override.store(bytes, std::memory_order_relaxed);
+  g_l1_override.store(bytes, std::memory_order_relaxed);
+}
+
+void OverrideL2CacheBytes(size_t bytes) {
+  g_l2_override.store(bytes, std::memory_order_relaxed);
 }
 
 }  // namespace holix

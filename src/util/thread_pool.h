@@ -4,30 +4,74 @@
 
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <deque>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace holix {
+
+/// Pool-wide options fixed at construction time.
+struct ThreadPoolOptions {
+  /// Pin worker i to cpu (i+1) % hardware_concurrency. The +1 keeps cpu 0
+  /// for the calling thread (which participates in ParallelFor /
+  /// ParallelForMorsels as shard 0). Pinning is the first half of the NUMA
+  /// story: with first-touch allocation, a pinned worker's thread-local
+  /// crack scratch lands on its own node. Best effort — failures (cgroup
+  /// cpusets, non-Linux) are silently ignored.
+  bool pin_threads = false;
+};
+
+/// Per-call result of ParallelForMorsels, for callers that want to export
+/// scheduling metrics (the pool itself stays metrics-free: util cannot
+/// depend on obs).
+struct MorselRunStats {
+  size_t morsels = 0;  ///< Morsels executed (== end - begin).
+  size_t steals = 0;   ///< Morsels a participant took from another's queue.
+};
 
 /// A minimal fixed-size thread pool.
 ///
 /// Tasks are `std::function<void()>`; Submit never blocks. The pool supports
-/// two idioms used throughout holix:
+/// three idioms used throughout holix:
 ///  * fire-and-forget Submit + WaitIdle (holistic workers),
-///  * ParallelFor over an index range with static partitioning (operators).
+///  * ParallelFor over an index range with static partitioning (operators),
+///  * ParallelForMorsels: work-stealing over an index range (parallel
+///    cracking's morsel scheduler).
 class ThreadPool {
  public:
+  /// Default options: pinning controlled by the HOLIX_PIN_THREADS env var
+  /// (any value other than empty/"0" enables it).
+  static ThreadPoolOptions DefaultOptions() {
+    ThreadPoolOptions opts;
+    const char* env = std::getenv("HOLIX_PIN_THREADS");
+    opts.pin_threads = env != nullptr && env[0] != '\0' && env[0] != '0';
+    return opts;
+  }
+
   /// Starts \p num_threads workers (at least 1).
-  explicit ThreadPool(size_t num_threads) {
+  explicit ThreadPool(size_t num_threads)
+      : ThreadPool(num_threads, DefaultOptions()) {}
+
+  ThreadPool(size_t num_threads, const ThreadPoolOptions& opts) {
     if (num_threads == 0) num_threads = 1;
     threads_.reserve(num_threads);
     for (size_t i = 0; i < num_threads; ++i) {
       threads_.emplace_back([this] { WorkerLoop(); });
+      if (opts.pin_threads) PinThread(threads_.back(), i + 1);
     }
   }
 
@@ -66,6 +110,10 @@ class ThreadPool {
   /// across the pool, and blocks until all iterations are done. The calling
   /// thread executes one shard itself. Safe to call from multiple client
   /// threads concurrently: completion is tracked per call, not pool-wide.
+  ///
+  /// Exception barrier: if any iteration throws, remaining iterations are
+  /// skipped (best effort), every shard is still joined, and the *first*
+  /// captured exception is rethrown on the calling thread.
   void ParallelFor(size_t begin, size_t end,
                    const std::function<void(size_t)>& body) {
     const size_t n = end - begin;
@@ -76,38 +124,172 @@ class ThreadPool {
       return;
     }
     const size_t chunk = (n + shards - 1) / shards;
-    struct Completion {
-      std::mutex mu;
-      std::condition_variable cv;
-      size_t remaining;
+    auto done = std::make_shared<Barrier>();
+    auto run_shard = [&body, done](size_t lo, size_t hi) {
+      try {
+        for (size_t i = lo; i < hi; ++i) {
+          if (done->abort.load(std::memory_order_relaxed)) break;
+          body(i);
+        }
+      } catch (...) {
+        done->CaptureError();
+      }
     };
-    auto done = std::make_shared<Completion>();
     size_t submitted = 0;
     for (size_t s = 1; s < shards; ++s) {
       const size_t lo = begin + s * chunk;
-      const size_t hi = std::min(end, lo + chunk);
-      if (lo >= hi) continue;
-      ++submitted;
+      if (lo < std::min(end, lo + chunk)) ++submitted;
     }
     done->remaining = submitted;
     for (size_t s = 1; s < shards; ++s) {
       const size_t lo = begin + s * chunk;
       const size_t hi = std::min(end, lo + chunk);
       if (lo >= hi) continue;
-      Submit([lo, hi, &body, done] {
-        for (size_t i = lo; i < hi; ++i) body(i);
-        std::unique_lock<std::mutex> lk(done->mu);
-        if (--done->remaining == 0) done->cv.notify_all();
+      Submit([lo, hi, run_shard, done] {
+        run_shard(lo, hi);
+        done->SignalOne();
       });
     }
     // The caller runs shard 0 itself to avoid idling.
-    const size_t hi0 = std::min(end, begin + chunk);
-    for (size_t i = begin; i < hi0; ++i) body(i);
-    std::unique_lock<std::mutex> lk(done->mu);
-    done->cv.wait(lk, [&] { return done->remaining == 0; });
+    run_shard(begin, std::min(end, begin + chunk));
+    done->Wait();
+    done->Rethrow();
+  }
+
+  /// Runs \p body(i) for every i in [begin, end) with morsel-driven
+  /// work stealing: indices are dealt out as contiguous blocks to per-slot
+  /// deques, each participant pops its own queue from the front and, when
+  /// empty, steals from the back of a victim's queue. The calling thread
+  /// participates as slot 0. At most \p max_participants threads take part
+  /// (0 = caller + whole pool). Same exception barrier as ParallelFor.
+  ///
+  /// One index is one morsel; callers choose the morsel granularity by how
+  /// they carve their range (parallel_crack.h uses ~L2-sized row blocks).
+  MorselRunStats ParallelForMorsels(size_t begin, size_t end,
+                                    const std::function<void(size_t)>& body,
+                                    size_t max_participants = 0) {
+    MorselRunStats stats;
+    const size_t n = end - begin;
+    stats.morsels = n;
+    if (n == 0) return stats;
+    size_t slots = std::min(n, threads_.size() + 1);
+    if (max_participants != 0) slots = std::min(slots, max_participants);
+    if (slots <= 1) {
+      for (size_t i = begin; i < end; ++i) body(i);
+      return stats;
+    }
+
+    struct Slot {
+      std::mutex mu;
+      std::deque<size_t> q;
+    };
+    struct Run : Barrier {
+      explicit Run(size_t k) : slots(k) {}
+      std::vector<Slot> slots;
+      std::atomic<size_t> steals{0};
+    };
+    auto run = std::make_shared<Run>(slots);
+    // Deal contiguous blocks so each participant starts on its own region
+    // (stealing from the back of a victim keeps stolen morsels far from the
+    // victim's working end).
+    const size_t chunk = (n + slots - 1) / slots;
+    for (size_t s = 0; s < slots; ++s) {
+      const size_t lo = begin + std::min(n, s * chunk);
+      const size_t hi = begin + std::min(n, (s + 1) * chunk);
+      for (size_t i = lo; i < hi; ++i) run->slots[s].q.push_back(i);
+    }
+
+    auto participate = [&body, run](size_t self) {
+      const size_t k = run->slots.size();
+      for (;;) {
+        if (run->abort.load(std::memory_order_relaxed)) return;
+        std::optional<size_t> idx;
+        {
+          Slot& own = run->slots[self];
+          std::lock_guard<std::mutex> lk(own.mu);
+          if (!own.q.empty()) {
+            idx = own.q.front();
+            own.q.pop_front();
+          }
+        }
+        if (!idx) {
+          for (size_t d = 1; d < k && !idx; ++d) {
+            Slot& victim = run->slots[(self + d) % k];
+            std::lock_guard<std::mutex> lk(victim.mu);
+            if (!victim.q.empty()) {
+              idx = victim.q.back();
+              victim.q.pop_back();
+              run->steals.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        if (!idx) return;  // All queues drained; no new morsels appear.
+        try {
+          body(*idx);
+        } catch (...) {
+          run->CaptureError();
+          return;
+        }
+      }
+    };
+
+    run->remaining = slots - 1;
+    for (size_t s = 1; s < slots; ++s) {
+      Submit([participate, run, s] {
+        participate(s);
+        run->SignalOne();
+      });
+    }
+    participate(0);
+    run->Wait();
+    stats.steals = run->steals.load(std::memory_order_relaxed);
+    run->Rethrow();
+    return stats;
   }
 
  private:
+  /// Per-call completion + first-exception latch shared by the parallel
+  /// loops. Rethrow() must only be called after Wait().
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining = 0;
+    std::atomic<bool> abort{false};
+    std::exception_ptr error;  // first captured exception; guarded by mu
+
+    void CaptureError() {
+      abort.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lk(mu);
+      if (!error) error = std::current_exception();
+    }
+    void SignalOne() {
+      std::unique_lock<std::mutex> lk(mu);
+      if (--remaining == 0) cv.notify_all();
+    }
+    void Wait() {
+      std::unique_lock<std::mutex> lk(mu);
+      cv.wait(lk, [this] { return remaining == 0; });
+    }
+    void Rethrow() {
+      std::lock_guard<std::mutex> lk(mu);
+      if (error) std::rethrow_exception(error);
+    }
+  };
+
+  static void PinThread(std::thread& t, size_t index) {
+#if defined(__linux__)
+    const unsigned ncpu = std::thread::hardware_concurrency();
+    if (ncpu == 0) return;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<int>(index % ncpu), &set);
+    (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+    (void)t;
+    (void)index;
+#endif
+  }
+
   void WorkerLoop() {
     for (;;) {
       std::function<void()> task;

@@ -9,6 +9,7 @@
 
 #include "cracking/crack_config.h"
 #include "cracking/crack_kernels.h"
+#include "cracking/crack_kernels_simd.h"
 #include "cracking/parallel_crack.h"
 #include "test_support.h"
 #include "util/rng.h"
@@ -227,6 +228,11 @@ size_t RunCrack(CrackAlgo algo, KernelInput& in, size_t lo, size_t hi,
       return ParallelCrackInTwo(in.values.data(), in.ids.data(), lo, hi,
                                 pivot, pool, 4, /*min_parallel_piece=*/64);
     }
+    case CrackAlgo::kSimd: {
+      CrackScratch<int64_t> scratch;
+      return CrackInTwoSimd(in.values.data(), in.ids.data(), lo, hi, pivot,
+                            scratch);
+    }
   }
   ADD_FAILURE() << "unknown CrackAlgo";
   return lo;
@@ -307,7 +313,8 @@ TEST_P(CrackAlgoBoundaryTest, SubrangeBoundariesUntouched) {
 INSTANTIATE_TEST_SUITE_P(AllAlgos, CrackAlgoBoundaryTest,
                          ::testing::Values(CrackAlgo::kScalar,
                                            CrackAlgo::kOutOfPlace,
-                                           CrackAlgo::kParallel),
+                                           CrackAlgo::kParallel,
+                                           CrackAlgo::kSimd),
                          [](const auto& info) {
                            switch (info.param) {
                              case CrackAlgo::kScalar:
@@ -316,6 +323,8 @@ INSTANTIATE_TEST_SUITE_P(AllAlgos, CrackAlgoBoundaryTest,
                                return "OutOfPlace";
                              case CrackAlgo::kParallel:
                                return "Parallel";
+                             case CrackAlgo::kSimd:
+                               return "Simd";
                            }
                            return "Unknown";
                          });

@@ -6,7 +6,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <mutex>
 #include <numeric>
+#include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -76,6 +80,119 @@ TEST(ThreadPool, ZeroThreadsClampedToOne) {
   pool.Submit([&] { n.fetch_add(1); });
   pool.WaitIdle();
   EXPECT_EQ(n.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  // Exception barrier: a throwing body on a worker must surface on the
+  // caller (previously it std::terminate'd the process), the pool must stay
+  // usable, and remaining iterations are best-effort skipped.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [&](size_t i) {
+                         ran.fetch_add(1);
+                         if (i == 700) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  EXPECT_GE(ran.load(), 1);
+  // Pool unaffected: a subsequent clean ParallelFor completes fully.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(0, 100, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFromCallerShard) {
+  // Shard 0 runs on the calling thread; its exception must also wait for
+  // the submitted shards before propagating (no use-after-free of body).
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 1000,
+                                [&](size_t i) {
+                                  if (i == 0) throw std::runtime_error("c");
+                                }),
+               std::runtime_error);
+  pool.WaitIdle();
+}
+
+TEST(ThreadPool, ParallelForMorselsCoversRangeOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(5000);
+  const MorselRunStats stats = pool.ParallelForMorsels(
+      0, 5000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  EXPECT_EQ(stats.morsels, 5000u);
+}
+
+TEST(ThreadPool, ParallelForMorselsStealsFromStragglers) {
+  // Slot 0's block is made artificially slow; thieves must drain it (the
+  // run would otherwise take ~first-block-serial time and the steal counter
+  // would stay 0).
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  const MorselRunStats stats =
+      pool.ParallelForMorsels(0, 64, [&](size_t i) {
+        if (i < 16) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+        hits[i].fetch_add(1);
+      });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  // Stealing is timing-dependent on a loaded machine, so only assert on
+  // multi-core hosts where a thief is essentially guaranteed idle time.
+  if (std::thread::hardware_concurrency() >= 4) {
+    EXPECT_GT(stats.steals, 0u);
+  }
+}
+
+TEST(ThreadPool, ParallelForMorselsHonorsMaxParticipants) {
+  ThreadPool pool(8);
+  std::mutex mu;
+  std::set<std::thread::id> seen;
+  pool.ParallelForMorsels(
+      0, 256,
+      [&](size_t) {
+        std::lock_guard<std::mutex> lk(mu);
+        seen.insert(std::this_thread::get_id());
+      },
+      /*max_participants=*/2);
+  EXPECT_LE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, ParallelForMorselsRethrowsFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelForMorsels(0, 500,
+                                       [&](size_t i) {
+                                         if (i == 250)
+                                           throw std::runtime_error("m");
+                                       }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  pool.ParallelForMorsels(0, 64, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForMorselsEmptyAndSerial) {
+  ThreadPool pool(4);
+  int calls = 0;
+  const MorselRunStats none =
+      pool.ParallelForMorsels(5, 5, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(none.morsels, 0u);
+  const MorselRunStats one = pool.ParallelForMorsels(
+      9, 10, [&](size_t i) { EXPECT_EQ(i, 9u); ++calls; });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(one.steals, 0u);
+}
+
+TEST(ThreadPool, PinnedPoolStillExecutes) {
+  // Pinning is best effort; the observable contract is that a pinned pool
+  // behaves like a normal one.
+  ThreadPoolOptions opts;
+  opts.pin_threads = true;
+  ThreadPool pool(4, opts);
+  std::atomic<int> n{0};
+  pool.ParallelFor(0, 1000, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 1000);
 }
 
 class ParallelSortTest
