@@ -7,10 +7,21 @@
 ///                [--attrs N] [--threads N] [--io-threads N]
 ///                [--kernel scalar|oop|parallel|simd]
 ///                [--no-shared-scans] [--seed N] [--metrics-port N]
+///                [--data-dir PATH] [--fsync always|interval|never]
+///                [--checkpoint-interval SECONDS]
 ///
 /// `--port 0` (the default) binds an ephemeral port; the chosen port is
 /// printed as `listening on 127.0.0.1:<port>` so scripts (CI's server
 /// smoke step) can parse it.
+///
+/// Durability: `--data-dir PATH` attaches the persist layer. When PATH
+/// already holds a manifest the server *recovers* from it (snapshot + WAL
+/// replay + cracker warm-start; the synthetic load is skipped) and prints
+/// `recovered from <path> (lsn ...)`; otherwise the freshly loaded table
+/// is checkpointed once so the directory becomes recoverable. `--fsync`
+/// picks the WAL policy (default always), `--checkpoint-interval N` cuts a
+/// background checkpoint every N seconds, and SIGUSR2 forces one on
+/// demand.
 ///
 /// Observability: `--metrics-port N` serves `GET /metrics` (Prometheus
 /// text exposition) over plain HTTP on the same event loop (`--metrics-port
@@ -24,12 +35,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "engine/database.h"
 #include "harness/runner.h"
 #include "obs/metrics.h"
+#include "persist/persistence.h"
 #include "workload/workload.h"
 #include "server/server.h"
 
@@ -37,10 +50,15 @@ namespace {
 
 std::atomic<bool> g_stop{false};
 std::atomic<bool> g_dump{false};
+std::atomic<bool> g_checkpoint{false};
 
 void HandleSignal(int) { g_stop.store(true, std::memory_order_release); }
 
 void HandleDumpSignal(int) { g_dump.store(true, std::memory_order_release); }
+
+void HandleCheckpointSignal(int) {
+  g_checkpoint.store(true, std::memory_order_release);
+}
 
 holix::ExecMode ParseMode(const std::string& name) {
   using holix::ExecMode;
@@ -74,6 +92,9 @@ int main(int argc, char** argv) {
   uint64_t seed = 1907;
   uint16_t metrics_port = 0;
   bool metrics_http = false;
+  std::string data_dir;
+  holix::persist::FsyncPolicy fsync = holix::persist::FsyncPolicy::kAlways;
+  double checkpoint_interval = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -104,12 +125,27 @@ int main(int argc, char** argv) {
     } else if (arg == "--metrics-port") {
       metrics_port = static_cast<uint16_t>(std::atoi(next()));
       metrics_http = true;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+    } else if (arg == "--fsync") {
+      const std::string name = next();
+      if (auto p = holix::persist::FsyncPolicyFromString(name)) {
+        fsync = *p;
+      } else {
+        std::fprintf(stderr, "unknown fsync policy '%s' (always|interval|never)\n",
+                     name.c_str());
+        return 2;
+      }
+    } else if (arg == "--checkpoint-interval") {
+      checkpoint_interval = std::atof(next());
     } else {
       std::fprintf(stderr,
                    "usage: holix_server [--port N] [--mode M] [--rows N] "
                    "[--attrs N] [--threads N] [--io-threads N] "
                    "[--kernel scalar|oop|parallel|simd] "
-                   "[--no-shared-scans] [--seed N] [--metrics-port N]\n");
+                   "[--no-shared-scans] [--seed N] [--metrics-port N] "
+                   "[--data-dir PATH] [--fsync always|interval|never] "
+                   "[--checkpoint-interval SECONDS]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -119,16 +155,38 @@ int main(int argc, char** argv) {
   opts.user_threads = threads;
   opts.kernel = kernel;
   holix::Database db(opts);
-  holix::LoadUniformTable(db, "r", attrs, rows, /*domain=*/int64_t{1} << 30,
-                          seed);
-  // One genuine double attribute beside the integer ones, so socket
-  // clients can exercise the typed f64 scalar path (e.g. `sum r d0 ...`
-  // from holix_cli prints a double).
-  db.LoadColumn<double>(
-      "r", "d0",
-      holix::GenerateUniformDoubleColumn(rows, int64_t{1} << 30, seed + 97));
-  std::printf("loaded table r: %zu attrs x %zu rows + double d0 (mode=%s)\n",
-              attrs, rows, holix::ExecModeName(mode));
+  std::unique_ptr<holix::persist::PersistenceManager> persistence;
+  holix::persist::PersistOptions popts;
+  popts.data_dir = data_dir;
+  popts.fsync = fsync;
+  popts.checkpoint_interval_seconds = checkpoint_interval;
+  if (!data_dir.empty() && holix::persist::HasManifest(data_dir)) {
+    // Warm start: snapshot + WAL replay + re-crack at the saved pivots.
+    // The synthetic load is skipped — the data is whatever was durable.
+    persistence =
+        std::make_unique<holix::persist::PersistenceManager>(db, popts);
+    std::printf("recovered from %s (lsn %llu, mode=%s)\n", data_dir.c_str(),
+                static_cast<unsigned long long>(persistence->recovered_lsn()),
+                holix::ExecModeName(mode));
+  } else {
+    holix::LoadUniformTable(db, "r", attrs, rows, /*domain=*/int64_t{1} << 30,
+                            seed);
+    // One genuine double attribute beside the integer ones, so socket
+    // clients can exercise the typed f64 scalar path (e.g. `sum r d0 ...`
+    // from holix_cli prints a double).
+    db.LoadColumn<double>(
+        "r", "d0",
+        holix::GenerateUniformDoubleColumn(rows, int64_t{1} << 30, seed + 97));
+    std::printf("loaded table r: %zu attrs x %zu rows + double d0 (mode=%s)\n",
+                attrs, rows, holix::ExecModeName(mode));
+    if (!data_dir.empty()) {
+      persistence =
+          std::make_unique<holix::persist::PersistenceManager>(db, popts);
+      const uint64_t lsn = persistence->Checkpoint();
+      std::printf("checkpointed load to %s (lsn %llu)\n", data_dir.c_str(),
+                  static_cast<unsigned long long>(lsn));
+    }
+  }
 
   holix::net::ServerOptions server_opts;
   server_opts.port = port;
@@ -148,11 +206,19 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGUSR1, HandleDumpSignal);
+  std::signal(SIGUSR2, HandleCheckpointSignal);
   while (!g_stop.load(std::memory_order_acquire)) {
     if (g_dump.exchange(false, std::memory_order_acq_rel)) {
       // One-page operator snapshot on demand; service is undisturbed (the
       // snapshot is the same lock-free read the wire path uses).
       std::printf("%s", holix::obs::HumanText(db.MetricsSnapshot()).c_str());
+      std::fflush(stdout);
+    }
+    if (persistence != nullptr &&
+        g_checkpoint.exchange(false, std::memory_order_acq_rel)) {
+      const uint64_t lsn = persistence->Checkpoint();
+      std::printf("checkpoint cut at lsn %llu\n",
+                  static_cast<unsigned long long>(lsn));
       std::fflush(stdout);
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));

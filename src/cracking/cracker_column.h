@@ -444,6 +444,22 @@ class CrackerColumn {
     return values_[probe];
   }
 
+  /// Boundary (value, position) pairs in ascending value order — the
+  /// warm-start payload a checkpoint persists. A boundary's position is a
+  /// pure function of the column multiset (#{x : x < value}), so
+  /// re-cracking a restored column at these values reproduces the
+  /// boundaries bit-identically.
+  std::vector<std::pair<T, size_t>> ExportBoundaries() const {
+    ReadGuard column_guard(column_latch_);
+    std::shared_lock<std::shared_mutex> lk(tree_mu_);
+    std::vector<std::pair<T, size_t>> out;
+    out.reserve(num_boundaries_.load(std::memory_order_relaxed));
+    index_.ForEachBoundary([&](const typename CrackerIndex<T>::Node& n) {
+      out.emplace_back(n.value, n.pos);
+    });
+    return out;
+  }
+
   /// Pieces of diagnostics: piece sizes in position order.
   std::vector<size_t> PieceSizes() const {
     ReadGuard column_guard(column_latch_);

@@ -1,9 +1,58 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <thread>
+#include <tuple>
+
+#include "engine/scalar_convert.h"
 
 namespace holix {
+
+namespace {
+
+/// Rank image of an applied update value: the exact KeyFromScalar
+/// conversion the executor performed, then ToRank. Only called for values
+/// the executor already accepted.
+template <typename T>
+uint64_t AppliedRank(KeyScalar value) {
+  T v{};
+  KeyFromScalar<T>(value, &v);
+  return KeyTraits<T>::ToRank(v);
+}
+
+/// Installs (or returns) a column's cracker for the restore path. Mirrors
+/// the executors' EnsureCracker minus the mode hooks: saved pivots already
+/// encode any pre-cracking, and holistic registration happens at the end
+/// of FinishRestore.
+template <typename T>
+std::shared_ptr<CrackerColumn<T>> EnsureRestoredCracker(ColumnEntry& e) {
+  auto& rt = e.runtime<T>();
+  auto cracker = rt.cracker.load(std::memory_order_acquire);
+  if (cracker == nullptr) {
+    std::lock_guard<std::mutex> lk(e.build_mu);
+    cracker = rt.cracker.load(std::memory_order_acquire);
+    if (cracker == nullptr) {
+      cracker = std::make_shared<CrackerColumn<T>>(e.key(), rt.base->values());
+      rt.cracker.store(cracker, std::memory_order_release);
+    }
+  }
+  return cracker;
+}
+
+StoreState StoreStateOf(ConfigKind kind) {
+  switch (kind) {
+    case ConfigKind::kActual:
+      return StoreState::kActual;
+    case ConfigKind::kPotential:
+      return StoreState::kPotential;
+    case ConfigKind::kOptimal:
+      return StoreState::kOptimal;
+  }
+  return StoreState::kUnregistered;
+}
+
+}  // namespace
 
 const char* ExecModeName(ExecMode m) {
   switch (m) {
@@ -148,12 +197,266 @@ KeyScalar Database::ProjectSumScalar(const ColumnHandle& where_column,
 
 RowId Database::InsertScalar(const ColumnHandle& column, KeyScalar value,
                              const QueryContext& qctx) {
-  return executor_->Insert(column, value, qctx);
+  // Shared barrier around apply+log: a checkpoint's state cut (unique
+  // barrier) can never observe an applied-but-unlogged update.
+  std::shared_lock<std::shared_mutex> barrier(update_barrier_);
+  const RowId rid = executor_->Insert(column, value, qctx);
+  if (DurabilityHook* hook = durability_.load(std::memory_order_acquire)) {
+    DispatchIndexableType(column.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      hook->LogUpdate(WalOp::kInsert, column.entry()->table(),
+                      column.entry()->column(), column.type(),
+                      AppliedRank<T>(value), rid);
+    });
+  }
+  return rid;
 }
 
 bool Database::DeleteScalar(const ColumnHandle& column, KeyScalar value,
                             const QueryContext& qctx) {
-  return executor_->Delete(column, value, qctx);
+  std::shared_lock<std::shared_mutex> barrier(update_barrier_);
+  RowId rid = 0;
+  const bool found = executor_->Delete(column, value, qctx, &rid);
+  if (found) {
+    if (DurabilityHook* hook = durability_.load(std::memory_order_acquire)) {
+      DispatchIndexableType(column.type(), [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        hook->LogUpdate(WalOp::kDelete, column.entry()->table(),
+                        column.entry()->column(), column.type(),
+                        AppliedRank<T>(value), rid);
+      });
+    }
+  }
+  return found;
+}
+
+// --- Durability -------------------------------------------------------------
+
+void Database::SetDurabilityHook(DurabilityHook* hook) {
+  // Unique barrier: no update is mid-apply while the hook flips, so the
+  // logged stream has no half-covered prefix.
+  std::unique_lock<std::shared_mutex> barrier(update_barrier_);
+  durability_.store(hook, std::memory_order_release);
+}
+
+uint64_t Database::Checkpoint() {
+  DurabilityHook* hook = durability_.load(std::memory_order_acquire);
+  if (hook == nullptr) {
+    throw std::logic_error("Checkpoint requires an attached durability hook");
+  }
+  return hook->Checkpoint();
+}
+
+DurableDatabaseState Database::ExportDurableState(
+    const std::function<void()>& under_barrier) {
+  std::unique_lock<std::shared_mutex> barrier(update_barrier_);
+  DurableDatabaseState st;
+  st.next_rowid = next_insert_rowid_.load(std::memory_order_relaxed);
+  for (const std::string& name : catalog_.TableNames()) {
+    const Table& t = catalog_.GetTable(name);
+    DurableTableState ts;
+    ts.name = name;
+    ts.base_rows = t.num_rows();
+    ts.columns = t.ColumnNames();
+    st.tables.push_back(std::move(ts));
+  }
+  std::sort(st.tables.begin(), st.tables.end(),
+            [](const DurableTableState& a, const DurableTableState& b) {
+              return a.name < b.name;
+            });
+  registry_.ForEach([&](ColumnEntry& e) {
+    if (e.dropped.load(std::memory_order_acquire)) return;
+    DispatchIndexableType(e.type(), [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      using KT = KeyTraits<T>;
+      auto& rt = e.runtime<T>();
+      DurableColumnState cs;
+      cs.table = e.table();
+      cs.column = e.column();
+      cs.type = e.type();
+      const std::vector<T>& base = rt.base->values();
+      cs.base_ranks.reserve(base.size());
+      for (const T& v : base) cs.base_ranks.push_back(KT::ToRank(v));
+      if (auto cracker = rt.cracker.load(std::memory_order_acquire)) {
+        // Drain the queues into the cracker first, so the appended /
+        // deleted-base registries carry the column's full update history
+        // and recovery has nothing queue-shaped to reconstruct.
+        cracker->MergePendingAtLeast(KT::Lowest());
+        cs.has_cracker = true;
+        for (const auto& [rid, v] : cracker->pending().AppendedEntries()) {
+          cs.appended.emplace_back(rid, KT::ToRank(v));
+        }
+        for (const auto& [rid, v] : cracker->pending().DeletedBaseEntries()) {
+          cs.deleted_base.emplace_back(rid, KT::ToRank(v));
+        }
+        for (const auto& [v, pos] : cracker->ExportBoundaries()) {
+          (void)pos;  // re-derived on restore from the multiset
+          cs.pivot_ranks.push_back(KT::ToRank(v));
+        }
+        const CrackStats& s = cracker->stats();
+        cs.stats[0] = s.accesses.load(std::memory_order_relaxed);
+        cs.stats[1] = s.exact_hits.load(std::memory_order_relaxed);
+        cs.stats[2] = s.query_cracks.load(std::memory_order_relaxed);
+        cs.stats[3] = s.worker_cracks.load(std::memory_order_relaxed);
+        cs.stats[4] = s.worker_skips.load(std::memory_order_relaxed);
+        cs.stats[5] = s.merged_inserts.load(std::memory_order_relaxed);
+        cs.stats[6] = s.merged_deletes.load(std::memory_order_relaxed);
+      }
+      cs.store_state =
+          static_cast<uint8_t>(e.store_state.load(std::memory_order_acquire));
+      st.columns.push_back(std::move(cs));
+    });
+  });
+  std::sort(st.columns.begin(), st.columns.end(),
+            [](const DurableColumnState& a, const DurableColumnState& b) {
+              return std::tie(a.table, a.column) <
+                     std::tie(b.table, b.column);
+            });
+  if (under_barrier) under_barrier();
+  return st;
+}
+
+void Database::BeginRestore(const DurableDatabaseState& state) {
+  if (!catalog_.TableNames().empty()) {
+    throw std::logic_error("BeginRestore requires an empty database");
+  }
+  // Base columns, in each table's storage order.
+  for (const DurableTableState& ts : state.tables) {
+    for (const std::string& cname : ts.columns) {
+      const DurableColumnState* cs = nullptr;
+      for (const DurableColumnState& c : state.columns) {
+        if (c.table == ts.name && c.column == cname) {
+          cs = &c;
+          break;
+        }
+      }
+      if (cs == nullptr) {
+        throw std::runtime_error("snapshot misses column " + ts.name + "." +
+                                 cname);
+      }
+      DispatchIndexableType(cs->type, [&](auto tag) {
+        using T = typename decltype(tag)::type;
+        std::vector<T> vals;
+        vals.reserve(cs->base_ranks.size());
+        for (uint64_t r : cs->base_ranks) {
+          vals.push_back(KeyTraits<T>::FromRank(r));
+        }
+        LoadColumn<T>(cs->table, cs->column, std::move(vals));
+      });
+    }
+  }
+  // The checkpointed update history re-enters through the pending queues;
+  // FinishRestore merges it after WAL replay has stacked the tail on top.
+  for (const DurableColumnState& cs : state.columns) {
+    if (!cs.has_cracker && cs.appended.empty() && cs.deleted_base.empty()) {
+      continue;
+    }
+    ColumnHandle h = registry_.Resolve(cs.table, cs.column);
+    DispatchIndexableType(cs.type, [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      auto cracker = EnsureRestoredCracker<T>(*h.entry());
+      for (const auto& [rid, rank] : cs.appended) {
+        cracker->pending().AddInsert(KeyTraits<T>::FromRank(rank), rid);
+      }
+      for (const auto& [rid, rank] : cs.deleted_base) {
+        cracker->pending().AddDelete(KeyTraits<T>::FromRank(rank), rid);
+      }
+    });
+  }
+  RaiseRowIdFloor(state.next_rowid);
+}
+
+void Database::ApplyLoggedInsert(const std::string& table,
+                                 const std::string& column, ValueType type,
+                                 uint64_t rank, RowId rid) {
+  ApplyLoggedUpdate(WalOp::kInsert, table, column, type, rank, rid);
+}
+
+void Database::ApplyLoggedDelete(const std::string& table,
+                                 const std::string& column, ValueType type,
+                                 uint64_t rank, RowId rid) {
+  ApplyLoggedUpdate(WalOp::kDelete, table, column, type, rank, rid);
+}
+
+void Database::ApplyLoggedUpdate(WalOp op, const std::string& table,
+                                 const std::string& column, ValueType type,
+                                 uint64_t rank, RowId rid) {
+  ColumnHandle h = registry_.Resolve(table, column);
+  ColumnEntry& e = *h.entry();
+  if (e.type() != type) {
+    throw std::runtime_error("wal record type mismatch for " + e.key());
+  }
+  DispatchIndexableType(type, [&](auto tag) {
+    using T = typename decltype(tag)::type;
+    auto cracker = EnsureRestoredCracker<T>(e);
+    const T v = KeyTraits<T>::FromRank(rank);
+    if (op == WalOp::kInsert) {
+      cracker->pending().AddInsert(v, rid);
+    } else {
+      cracker->pending().AddDelete(v, rid);
+    }
+  });
+  if (op == WalOp::kInsert) RaiseRowIdFloor(rid + 1);
+}
+
+void Database::FinishRestore(const DurableDatabaseState& state) {
+  for (const DurableColumnState& cs : state.columns) {
+    ColumnHandle h = registry_.Resolve(cs.table, cs.column);
+    ColumnEntry& e = *h.entry();
+    DispatchIndexableType(cs.type, [&](auto tag) {
+      using T = typename decltype(tag)::type;
+      using KT = KeyTraits<T>;
+      auto cracker = e.runtime<T>().cracker.load(std::memory_order_acquire);
+      if (cracker == nullptr) return;
+      cracker->MergePendingAtLeast(KT::Lowest());
+      // Re-crack at every saved pivot. Boundary positions come out
+      // bit-identical regardless of kernel — pos(w) = #{x : x < w} over
+      // the restored multiset — so the default config suffices.
+      const CrackConfig cfg{};
+      for (uint64_t rank : cs.pivot_ranks) {
+        cracker->CrackAtBlocking(KT::FromRank(rank), cfg);
+      }
+      // Life counters restore LAST: the re-cracks above ticked them.
+      CrackStats& s = cracker->stats();
+      s.accesses.store(cs.stats[0], std::memory_order_relaxed);
+      s.exact_hits.store(cs.stats[1], std::memory_order_relaxed);
+      s.query_cracks.store(cs.stats[2], std::memory_order_relaxed);
+      s.worker_cracks.store(cs.stats[3], std::memory_order_relaxed);
+      s.worker_skips.store(cs.stats[4], std::memory_order_relaxed);
+      s.merged_inserts.store(cs.stats[5], std::memory_order_relaxed);
+      s.merged_deletes.store(cs.stats[6], std::memory_order_relaxed);
+      if (!cracker->CheckInvariants()) {
+        throw std::runtime_error("restored cracker violates invariants: " +
+                                 e.key());
+      }
+      // Holistic store membership — registration goes last so no worker
+      // can refine the column before its pivots are back.
+      if (holistic_ != nullptr && cs.store_state != 0) {
+        auto adapter = std::make_shared<CrackerAdaptiveIndex<T>>(cracker);
+        e.adapter.store(adapter, std::memory_order_release);
+        const StoreState saved = static_cast<StoreState>(cs.store_state);
+        const ConfigKind kind = saved == StoreState::kPotential
+                                    ? ConfigKind::kPotential
+                                    : ConfigKind::kActual;
+        std::vector<std::string> evicted;
+        holistic_->store().Register(adapter, kind, &evicted);
+        if (saved == StoreState::kOptimal) {
+          // A converged index retires straight back into C_optimal.
+          holistic_->store().UpdateAfterRefinement(e.key());
+        }
+        for (const std::string& victim : evicted) {
+          if (victim == e.key()) continue;
+          if (ColumnHandle vh = registry_.FindByKey(victim); vh.entry()) {
+            vh.entry()->ResetIndexRuntime();
+          }
+        }
+        const auto now = holistic_->store().TryKindOf(e.key());
+        e.store_state.store(
+            now.has_value() ? StoreStateOf(*now) : StoreState::kUnregistered,
+            std::memory_order_release);
+      }
+    });
+  }
 }
 
 // --- int64 facade -----------------------------------------------------------

@@ -31,13 +31,16 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
 
 #include "engine/column_registry.h"
+#include "engine/durability.h"
 #include "engine/engine_options.h"
 #include "obs/metrics.h"
 #include "engine/query_executor.h"
@@ -265,6 +268,51 @@ class Database {
     executor_->SeedPotential(Resolve(table, column));
   }
 
+  // --- Durability (src/persist/ attaches here) ----------------------------
+
+  /// Attaches (or with nullptr detaches) the durability hook. Every update
+  /// that enters through InsertScalar/DeleteScalar is logged through the
+  /// hook while the update barrier is held shared, so a checkpoint's state
+  /// cut (ExportDurableState, unique barrier) can never interleave with a
+  /// half-logged update.
+  void SetDurabilityHook(DurabilityHook* hook);
+
+  /// Forces a checkpoint through the attached hook; returns the checkpoint
+  /// LSN. Throws std::logic_error when no hook is attached.
+  uint64_t Checkpoint();
+
+  /// Exports the full durable state under the unique update barrier: every
+  /// cracker force-merges its pending queues, then base ranks, appended /
+  /// deleted-base registries, piece boundaries and life stats are captured.
+  /// \p under_barrier (optional) runs while the barrier is still held — the
+  /// persistence layer rotates the WAL epoch inside it, making the state
+  /// cut and the epoch boundary one atomic event. Columns are ordered by
+  /// key so identical states serialize identically.
+  DurableDatabaseState ExportDurableState(
+      const std::function<void()>& under_barrier = {});
+
+  /// Recovery step 1: recreates tables and base columns from \p state into
+  /// this (empty) database and queues the checkpointed appended /
+  /// deleted-base registries as pending updates. Throws std::logic_error
+  /// when the database already holds tables.
+  void BeginRestore(const DurableDatabaseState& state);
+
+  /// Recovery step 2 (per WAL record): re-applies a logged insert exactly —
+  /// same value (rank image), same rowid.
+  void ApplyLoggedInsert(const std::string& table, const std::string& column,
+                         ValueType type, uint64_t rank, RowId rid);
+  /// Recovery step 2 (per WAL record): re-applies a logged delete of the
+  /// exact row the original call removed.
+  void ApplyLoggedDelete(const std::string& table, const std::string& column,
+                         ValueType type, uint64_t rank, RowId rid);
+
+  /// Recovery step 3: force-merges every restored column, re-cracks each
+  /// cracker at its saved pivots (bit-identical boundaries — a boundary's
+  /// position is a pure function of the column multiset), restores the
+  /// life stats and the holistic store membership, and verifies the
+  /// cracker invariants. Throws std::runtime_error on invariant failure.
+  void FinishRestore(const DurableDatabaseState& state);
+
   // --- Introspection ------------------------------------------------------
 
   /// The holistic engine (nullptr unless mode is kHolistic).
@@ -302,6 +350,11 @@ class Database {
  private:
   void RaiseRowIdFloor(uint64_t rows);
 
+  /// Typed core of ApplyLoggedInsert/ApplyLoggedDelete.
+  void ApplyLoggedUpdate(WalOp op, const std::string& table,
+                         const std::string& column, ValueType type,
+                         uint64_t rank, RowId rid);
+
   DatabaseOptions options_;
   Catalog catalog_;
   ColumnRegistry registry_;
@@ -313,6 +366,12 @@ class Database {
 
   std::atomic<uint64_t> next_insert_rowid_{0};
   std::atomic<uint64_t> next_session_id_{0};
+
+  /// Held shared around apply+log of every update, unique around a
+  /// checkpoint's state export — the sharp cut that keeps "in the
+  /// snapshot" and "after the WAL rotation" mutually exclusive.
+  mutable std::shared_mutex update_barrier_;
+  std::atomic<DurabilityHook*> durability_{nullptr};
 
   std::mutex client_pool_mu_;
   std::unique_ptr<ThreadPool> client_pool_;

@@ -10,6 +10,7 @@
 
 #include "baselines/full_scan.h"
 #include "cracking/pre_crack.h"
+#include "engine/scalar_convert.h"
 #include "obs/metrics.h"
 #include "util/timer.h"
 
@@ -141,35 +142,6 @@ Bounds<T> ClampBounds(KeyScalar lo, KeyScalar hi) {
     // max(T) the select machinery turns it straight back into the
     // identical half-open [lo_t, hi_t + 1).
     return {*lo_t, *hi_t, false, true};
-  }
-}
-
-/// Converts an update value into column type T. Integer columns accept an
-/// int64 carrier in domain, or a double carrier that is integral and in
-/// domain; double columns accept anything (canonicalized — any NaN becomes
-/// the NaN key, -0.0 becomes +0.0). \return false when unrepresentable.
-template <typename T>
-bool KeyFromScalar(KeyScalar v, T* out) {
-  if constexpr (std::is_same_v<T, double>) {
-    *out = KeyTraits<double>::Canonical(v.AsF64());
-    return true;
-  } else {
-    if (v.is_f64()) {
-      const double d = v.d;
-      if (std::isnan(d) || std::floor(d) != d) return false;
-      if (d < static_cast<double>(std::numeric_limits<T>::min()) ||
-          d >= std::ldexp(1.0, sizeof(T) * 8 - 1)) {
-        return false;
-      }
-      *out = static_cast<T>(d);
-      return true;
-    }
-    if (v.i < std::numeric_limits<T>::min() ||
-        v.i > std::numeric_limits<T>::max()) {
-      return false;
-    }
-    *out = static_cast<T>(v.i);
-    return true;
   }
 }
 
@@ -988,6 +960,29 @@ class CrackingExecutor : public ExecutorBase {
             bs.push_back(b);
           }
           if (!any) return std::vector<uint64_t>(ranges.size(), 0);
+          // Adaptive admission: the union spans every requested range PLUS
+          // the gaps between them. On a converged column the per-range
+          // indexed probes are cheaper than one wide union scan — estimate
+          // both from the current piece boundaries and fall back to the
+          // per-range path (bit-equal by construction) when coalescing
+          // would lose. An uncracked column always coalesces: estimates
+          // are column-sized either way and the union cracks only once.
+          if (auto est =
+                  e.runtime<T>().cracker.load(std::memory_order_acquire)) {
+            size_t per_range = 0;
+            for (const Bounds<T>& b : bs) {
+              if (!b.empty) {
+                per_range += est->EstimateRange(b.lo, b.hi, b.closed_high);
+              }
+            }
+            if (per_range < est->EstimateRange(u.lo, u.hi, u.closed_high)) {
+              static obs::Counter& skips =
+                  obs::MetricsRegistry::Global().GetCounter(
+                      "holix_batch_admission_skips_total");
+              skips.Inc();
+              return QueryExecutor::CountRangeBatch(h, ranges, qctx);
+            }
+          }
           std::shared_ptr<CrackerColumn<T>> cracker;
           const PositionRange r = Select<T>(e, u, qctx, &cracker);
           std::vector<uint64_t> counts(ranges.size(), 0);
@@ -1024,8 +1019,8 @@ class CrackingExecutor : public ExecutorBase {
     });
   }
 
-  bool Delete(const ColumnHandle& h, KeyScalar value,
-              const QueryContext& qctx) override {
+  bool Delete(const ColumnHandle& h, KeyScalar value, const QueryContext& qctx,
+              RowId* deleted_rid) override {
     ColumnEntry& e = Entry(h);
     return DispatchIndexableType(e.type(), [&](auto tag) -> bool {
       using T = typename decltype(tag)::type;
@@ -1052,6 +1047,7 @@ class CrackingExecutor : public ExecutorBase {
         });
         if (found) {
           cracker->pending().AddDelete(v, rid);
+          if (deleted_rid != nullptr) *deleted_rid = rid;
           return true;
         }
       }
@@ -1292,7 +1288,7 @@ RowId QueryExecutor::Insert(const ColumnHandle&, KeyScalar,
 }
 
 bool QueryExecutor::Delete(const ColumnHandle&, KeyScalar,
-                           const QueryContext&) {
+                           const QueryContext&, RowId*) {
   throw std::logic_error("updates require a cracking mode");
 }
 

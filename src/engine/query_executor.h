@@ -122,9 +122,13 @@ class QueryExecutor {
   virtual RowId Insert(const ColumnHandle& column, KeyScalar value,
                        const QueryContext& qctx);
 
-  /// Pending-queue delete of one matching row; cracking modes only.
+  /// Pending-queue delete of one matching row; cracking modes only. When
+  /// \p deleted_rid is non-null and a row was deleted, receives its rowid
+  /// (the durability layer logs the resolved row so replay deletes exactly
+  /// the row the original call removed).
   virtual bool Delete(const ColumnHandle& column, KeyScalar value,
-                      const QueryContext& qctx);
+                      const QueryContext& qctx,
+                      RowId* deleted_rid = nullptr);
 
   /// Mode-specific up-front work (offline indexing sorts every column).
   virtual void Prepare() {}

@@ -1,0 +1,46 @@
+/// \file scalar_convert.h
+/// \brief KeyScalar -> column key type conversion, shared by the executors
+/// (update entry points) and the durability layer (WAL rank computation —
+/// both must apply the exact same conversion or a replayed update would
+/// diverge from the one originally applied).
+
+#pragma once
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+#include "storage/types.h"
+
+namespace holix {
+
+/// Converts an update value into column type T. Integer columns accept an
+/// int64 carrier in domain, or a double carrier that is integral and in
+/// domain; double columns accept anything (canonicalized — any NaN becomes
+/// the NaN key, -0.0 becomes +0.0). \return false when unrepresentable.
+template <typename T>
+bool KeyFromScalar(KeyScalar v, T* out) {
+  if constexpr (std::is_same_v<T, double>) {
+    *out = KeyTraits<double>::Canonical(v.AsF64());
+    return true;
+  } else {
+    if (v.is_f64()) {
+      const double d = v.d;
+      if (std::isnan(d) || std::floor(d) != d) return false;
+      if (d < static_cast<double>(std::numeric_limits<T>::min()) ||
+          d >= std::ldexp(1.0, sizeof(T) * 8 - 1)) {
+        return false;
+      }
+      *out = static_cast<T>(d);
+      return true;
+    }
+    if (v.i < std::numeric_limits<T>::min() ||
+        v.i > std::numeric_limits<T>::max()) {
+      return false;
+    }
+    *out = static_cast<T>(v.i);
+    return true;
+  }
+}
+
+}  // namespace holix

@@ -62,6 +62,18 @@
 /// | holix_sharedscan_batches_total              | counter   | coalesced scan batches run |
 /// | holix_sharedscan_requests_total             | counter   | requests answered by shared scans |
 /// | holix_sharedscan_batch_size                 | histogram | requests per coalesced batch |
+/// | holix_batch_admission_skips_total           | counter   | ranges bypassing shared-scan coalescing (admission heuristic) |
+/// | holix_wal_records_total                     | counter   | update records appended to the WAL |
+/// | holix_wal_bytes_total                       | counter   | record bytes appended to the WAL |
+/// | holix_wal_fsyncs_total                      | counter   | fsync calls issued by the WAL writer |
+/// | holix_wal_append_seconds                    | histogram | latency of one durable WAL append |
+/// | holix_wal_replayed_records_total            | counter   | WAL records re-applied during recovery |
+/// | holix_checkpoints_total                     | counter   | snapshots cut (manual + background) |
+/// | holix_checkpoint_bytes_total                | counter   | snapshot bytes written by checkpoints |
+/// | holix_checkpoint_seconds                    | histogram | wall time per checkpoint |
+/// | holix_recovery_columns_total                | counter   | columns restored from snapshot |
+/// | holix_recovery_pivots_total                 | counter   | cracker pivots re-applied at warm start |
+/// | holix_recovery_seconds                      | histogram | wall time per recovery |
 
 #pragma once
 

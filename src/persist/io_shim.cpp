@@ -1,0 +1,143 @@
+#include "persist/io_shim.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace holix::persist::io {
+
+namespace {
+
+/// One injectable failure point: fires on the n-th operation (1-based).
+struct FaultPoint {
+  std::atomic<uint64_t> arm{0};  // 0 = disabled
+  std::atomic<uint64_t> ops{0};
+
+  /// Counts one operation; true when this op should fail.
+  bool ShouldFail() {
+    const uint64_t armed = arm.load(std::memory_order_relaxed);
+    if (armed == 0) return false;
+    const uint64_t op = ops.fetch_add(1, std::memory_order_relaxed) + 1;
+    return op == armed;
+  }
+};
+
+struct FaultConfig {
+  FaultPoint write;
+  FaultPoint fsync;
+  FaultPoint rename;
+  std::atomic<bool> torn_write{false};
+  std::atomic<uint64_t> fired{0};
+};
+
+FaultConfig& Config() {
+  static FaultConfig cfg;
+  return cfg;
+}
+
+uint64_t EnvU64(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? 0 : std::strtoull(v, nullptr, 10);
+}
+
+void LoadFromEnv() {
+  FaultConfig& cfg = Config();
+  cfg.write.arm.store(EnvU64("HOLIX_FAULT_WRITE_N"), std::memory_order_relaxed);
+  cfg.write.ops.store(0, std::memory_order_relaxed);
+  cfg.fsync.arm.store(EnvU64("HOLIX_FAULT_FSYNC_N"), std::memory_order_relaxed);
+  cfg.fsync.ops.store(0, std::memory_order_relaxed);
+  cfg.rename.arm.store(EnvU64("HOLIX_FAULT_RENAME_N"),
+                       std::memory_order_relaxed);
+  cfg.rename.ops.store(0, std::memory_order_relaxed);
+  cfg.torn_write.store(EnvU64("HOLIX_FAULT_WRITE_TORN") != 0,
+                       std::memory_order_relaxed);
+  cfg.fired.store(0, std::memory_order_relaxed);
+}
+
+void EnsureLoaded() {
+  static std::once_flag once;
+  std::call_once(once, LoadFromEnv);
+}
+
+bool WriteAll(int fd, const uint8_t* p, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<size_t>(w);
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FullWrite(int fd, const void* data, size_t n) {
+  EnsureLoaded();
+  FaultConfig& cfg = Config();
+  if (cfg.write.ShouldFail()) {
+    cfg.fired.fetch_add(1, std::memory_order_relaxed);
+    if (cfg.torn_write.load(std::memory_order_relaxed) && n > 1) {
+      // Torn write: half the record reaches the file, then the "crash".
+      WriteAll(fd, static_cast<const uint8_t*>(data), n / 2);
+    }
+    errno = EIO;
+    return false;
+  }
+  return WriteAll(fd, static_cast<const uint8_t*>(data), n);
+}
+
+bool Fsync(int fd) {
+  EnsureLoaded();
+  FaultConfig& cfg = Config();
+  if (cfg.fsync.ShouldFail()) {
+    cfg.fired.fetch_add(1, std::memory_order_relaxed);
+    errno = EIO;
+    return false;
+  }
+  return ::fsync(fd) == 0;
+}
+
+bool FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = Fsync(fd);
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  return ok;
+}
+
+bool AtomicRename(const std::string& from, const std::string& to) {
+  EnsureLoaded();
+  FaultConfig& cfg = Config();
+  if (cfg.rename.ShouldFail()) {
+    cfg.fired.fetch_add(1, std::memory_order_relaxed);
+    errno = EIO;
+    return false;
+  }
+  return ::rename(from.c_str(), to.c_str()) == 0;
+}
+
+bool TruncateFile(const std::string& path, uint64_t keep_bytes) {
+  return ::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) == 0;
+}
+
+void ReloadFaultConfigForTest() {
+  EnsureLoaded();
+  LoadFromEnv();
+}
+
+uint64_t InjectedFaultCount() {
+  EnsureLoaded();
+  return Config().fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace holix::persist::io

@@ -1,0 +1,56 @@
+/// \file io_shim.h
+/// \brief Fault-injectable file I/O used by every durability code path.
+///
+/// All writes, fsyncs, and renames of the persist layer go through these
+/// wrappers so recovery tests can prove torn-write and partial-checkpoint
+/// safety against *injected* failures instead of hoping for real ones.
+///
+/// ## Fault knobs (read from the environment)
+///
+/// | variable                | effect                                        |
+/// |-------------------------|-----------------------------------------------|
+/// | HOLIX_FAULT_WRITE_N=k   | the k-th FullWrite fails with EIO             |
+/// | HOLIX_FAULT_WRITE_TORN=1| ... after writing only half its bytes (torn)  |
+/// | HOLIX_FAULT_FSYNC_N=k   | the k-th Fsync fails with EIO                 |
+/// | HOLIX_FAULT_RENAME_N=k  | the k-th AtomicRename fails with EIO          |
+///
+/// Counters are process-wide and 1-based; `0`/unset disables the fault.
+/// Each fault fires exactly once (subsequent ops succeed), which models a
+/// single crash point. Tests mutate the environment and then call
+/// `ReloadFaultConfigForTest()` to re-arm.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace holix::persist::io {
+
+/// Writes all \p n bytes to \p fd (retrying short writes / EINTR).
+/// \return true on success; false with errno set on failure (including an
+/// injected fault, which sets errno = EIO).
+bool FullWrite(int fd, const void* data, size_t n);
+
+/// fsync(\p fd), fault-injectable. \return true on success.
+bool Fsync(int fd);
+
+/// fsync of a directory by path (to make a rename inside it durable).
+bool FsyncDir(const std::string& dir);
+
+/// rename(\p from, \p to), fault-injectable. \return true on success.
+bool AtomicRename(const std::string& from, const std::string& to);
+
+/// Truncates \p path to \p keep_bytes (test helper for torn WAL tails;
+/// not fault-injected). \return true on success.
+bool TruncateFile(const std::string& path, uint64_t keep_bytes);
+
+/// Re-reads the HOLIX_FAULT_* environment and resets the op counters.
+/// Called once automatically at process start (first shim use).
+void ReloadFaultConfigForTest();
+
+/// Number of injected faults that have fired since the last reload
+/// (tests assert the fault they armed actually triggered).
+uint64_t InjectedFaultCount();
+
+}  // namespace holix::persist::io

@@ -1,0 +1,92 @@
+/// \file snapshot.h
+/// \brief Versioned, checksummed column snapshot files and the atomic
+/// rename-into-place manifest.
+///
+/// ## Layout of a data directory
+///
+///   <data-dir>/MANIFEST                      the recovery root (see below)
+///   <data-dir>/snapshot-<epoch>/<t>.<c>.col  one file per column
+///   <data-dir>/wal-<epoch>.log               pending-update WAL epochs
+///
+/// ## File framing (shared by .col files and the MANIFEST)
+///
+///   magic (8) | u32 version | u32 crc32c(body) | u64 body_len | body
+///
+/// Files are written to `<name>.tmp`, fsynced, renamed into place, and the
+/// directory fsynced — a reader never observes a partial file, and a crash
+/// mid-checkpoint leaves the previous MANIFEST (and therefore the previous
+/// consistent state) in force.
+///
+/// The manifest names the snapshot epoch, the WAL epoch replay starts at,
+/// the checkpoint LSN, the rowid floor, table shapes, and the per-column
+/// file list with each file's CRC (double-checked against the file's own
+/// header at recovery).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/durability.h"
+
+namespace holix::persist {
+
+/// One column file as listed by the manifest.
+struct ManifestColumnFile {
+  std::string table;
+  std::string column;
+  ValueType type = ValueType::kInt64;
+  uint32_t crc = 0;       ///< CRC of the column file's body
+  uint64_t bytes = 0;     ///< body length
+};
+
+/// Decoded MANIFEST.
+struct Manifest {
+  uint64_t snapshot_epoch = 0;
+  uint64_t wal_epoch = 0;  ///< replay WAL epochs >= this
+  uint64_t last_lsn = 0;   ///< records with lsn <= this are in the snapshot
+  uint64_t next_rowid = 0;
+  std::vector<DurableTableState> tables;
+  std::vector<ManifestColumnFile> columns;
+};
+
+/// `<dir>/MANIFEST`.
+std::string ManifestPath(const std::string& dir);
+/// `<dir>/snapshot-<epoch>`.
+std::string SnapshotDir(const std::string& dir, uint64_t epoch);
+/// `<dir>/wal-<epoch>.log`.
+std::string WalPath(const std::string& dir, uint64_t epoch);
+/// `<snapshot-dir>/<table>.<column>.col`.
+std::string ColumnFileName(const std::string& snapshot_dir,
+                           const std::string& table,
+                           const std::string& column);
+
+/// True when \p dir holds a readable manifest (i.e. recovery is possible).
+bool HasManifest(const std::string& dir);
+
+/// Serializes \p state into `snapshot-<epoch>/` under \p dir and then
+/// atomically publishes the manifest. Throws std::runtime_error on any
+/// I/O failure (injected faults included) — in that case the previous
+/// manifest, if any, is untouched.
+void WriteSnapshot(const std::string& dir, uint64_t epoch, uint64_t wal_epoch,
+                   const DurableDatabaseState& state);
+
+/// Reads and validates the manifest. Throws std::runtime_error when
+/// absent or corrupt.
+Manifest ReadManifest(const std::string& dir);
+
+/// Reads every column file the manifest lists into \p state (tables,
+/// columns, last_lsn, next_rowid). Throws std::runtime_error on missing
+/// files or CRC mismatches.
+DurableDatabaseState ReadSnapshot(const std::string& dir,
+                                  const Manifest& manifest);
+
+/// Deletes snapshot directories and WAL epoch files that \p manifest no
+/// longer references (best-effort; errors are ignored).
+void GarbageCollect(const std::string& dir, const Manifest& manifest);
+
+/// Ascending WAL epochs present in \p dir.
+std::vector<uint64_t> ListWalEpochs(const std::string& dir);
+
+}  // namespace holix::persist

@@ -8,9 +8,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace holix::net {
@@ -29,7 +32,12 @@ HolixClient::HolixClient(HolixClient&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
       next_request_id_(other.next_request_id_),
       acc_(std::move(other.acc_)),
-      stash_(std::move(other.stash_)) {}
+      stash_(std::move(other.stash_)),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      opts_(other.opts_),
+      next_session_handle_(other.next_session_handle_),
+      sessions_(std::move(other.sessions_)) {}
 
 HolixClient& HolixClient::operator=(HolixClient&& other) noexcept {
   if (this != &other) {
@@ -38,11 +46,17 @@ HolixClient& HolixClient::operator=(HolixClient&& other) noexcept {
     next_request_id_ = other.next_request_id_;
     acc_ = std::move(other.acc_);
     stash_ = std::move(other.stash_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    opts_ = other.opts_;
+    next_session_handle_ = other.next_session_handle_;
+    sessions_ = std::move(other.sessions_);
   }
   return *this;
 }
 
 void HolixClient::Close() {
+  // Session handles survive: they are re-bound by the next reconnect.
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
@@ -51,16 +65,26 @@ void HolixClient::Close() {
   stash_.clear();
 }
 
-void HolixClient::Connect(const std::string& host, uint16_t port) {
+void HolixClient::Connect(const std::string& host, uint16_t port,
+                          ClientOptions options) {
   Close();
+  host_ = host;
+  port_ = port;
+  opts_ = options;
+  sessions_.clear();
+  next_session_handle_ = 1;
+  Dial();
+}
+
+void HolixClient::Dial() {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) ThrowErrno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
     Close();
-    throw std::runtime_error("bad host address: " + host);
+    throw std::runtime_error("bad host address: " + host_);
   }
   if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     // A signal can interrupt connect() mid-handshake; the connection then
@@ -84,8 +108,8 @@ void HolixClient::Connect(const std::string& host, uint16_t port) {
     if (!recovered) {
       const std::string err = std::strerror(errno);
       Close();
-      throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
-                               ": " + err);
+      throw ConnectionLost("connect " + host_ + ":" + std::to_string(port_) +
+                           ": " + err);
     }
   }
   const int one = 1;
@@ -96,14 +120,16 @@ void HolixClient::Connect(const std::string& host, uint16_t port) {
 }
 
 void HolixClient::SendBytes(const std::vector<uint8_t>& bytes) {
-  if (fd_ < 0) throw std::runtime_error("client not connected");
+  if (fd_ < 0) throw ConnectionLost("client not connected");
   size_t off = 0;
   while (off < bytes.size()) {
     const ssize_t n =
         ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      ThrowErrno("send");
+      const std::string err = std::strerror(errno);
+      Close();
+      throw ConnectionLost("send: " + err);
     }
     off += static_cast<size_t>(n);
   }
@@ -142,13 +168,13 @@ Frame HolixClient::AwaitFrame(uint64_t request_id) {
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n == 0) {
       Close();
-      throw std::runtime_error("server closed the connection");
+      throw ConnectionLost("server closed the connection");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       const std::string err = std::strerror(errno);
       Close();
-      throw std::runtime_error("recv: " + err);
+      throw ConnectionLost("recv: " + err);
     }
     acc_.insert(acc_.end(), chunk, chunk + n);
   }
@@ -174,29 +200,89 @@ M HolixClient::Expect(const Frame& f) {
   return out;
 }
 
+void HolixClient::EnsureConnected() {
+  if (fd_ >= 0) return;
+  if (host_.empty() || !opts_.reconnect) {
+    throw ConnectionLost("client not connected");
+  }
+  Dial();
+  // Server sessions are per-connection — the old ones died with the old
+  // socket. Re-bind every live handle to a fresh server session so handles
+  // held by the caller keep working.
+  for (auto& [handle, server_id] : sessions_) {
+    const uint64_t id = SendMessage(OpenSessionReq{});
+    server_id = Expect<OpenSessionAck>(AwaitFrame(id)).session_id;
+  }
+}
+
+uint64_t HolixClient::ServerSession(uint64_t handle) const {
+  const auto it = sessions_.find(handle);
+  return it != sessions_.end() ? it->second : handle;
+}
+
+template <typename Resp, typename Req>
+Resp HolixClient::Transact(Req req, uint64_t session_handle, bool idempotent) {
+  int attempt = 0;
+  double delay = opts_.backoff_initial_seconds;
+  for (;;) {
+    // Whether this attempt's request bytes may have reached the server. A
+    // loss before the send is always safe to retry (even for updates); one
+    // after it leaves the ack ambiguous, so only idempotent requests go out
+    // again.
+    bool sent = false;
+    try {
+      EnsureConnected();
+      if constexpr (requires { req.session_id; }) {
+        if (session_handle != 0) req.session_id = ServerSession(session_handle);
+      }
+      sent = true;
+      const uint64_t id = SendMessage(req);
+      return Expect<Resp>(AwaitFrame(id));
+    } catch (const ConnectionLost&) {
+      if (!opts_.reconnect || host_.empty()) throw;
+      if (sent && !idempotent) throw;
+      if (++attempt >= opts_.max_attempts) throw;
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      delay = std::min(delay * 2.0, opts_.backoff_max_seconds);
+    }
+  }
+}
+
 uint64_t HolixClient::OpenSession() {
-  const uint64_t id = SendMessage(OpenSessionReq{});
-  return Expect<OpenSessionAck>(AwaitFrame(id)).session_id;
+  const uint64_t server_id =
+      Transact<OpenSessionAck>(OpenSessionReq{}, 0, /*idempotent=*/true)
+          .session_id;
+  const uint64_t handle = next_session_handle_++;
+  sessions_[handle] = server_id;
+  return handle;
 }
 
 void HolixClient::CloseSession(uint64_t session_id) {
-  CloseSessionReq req;
-  req.session_id = session_id;
-  const uint64_t id = SendMessage(req);
-  (void)Expect<CloseSessionAck>(AwaitFrame(id));
+  (void)Transact<CloseSessionAck>(CloseSessionReq{}, session_id,
+                                  /*idempotent=*/true);
+  sessions_.erase(session_id);
 }
 
 obs::MetricsSnapshot HolixClient::GetStats() {
-  const uint64_t id = SendMessage(GetStatsReq{});
-  return Expect<GetStatsResult>(AwaitFrame(id)).snapshot;
+  return Transact<GetStatsResult>(GetStatsReq{}, 0, /*idempotent=*/true)
+      .snapshot;
 }
 
 ExecuteQueryResult HolixClient::ExecuteQuery(
     uint64_t session_id, const std::string& table,
     const std::vector<QueryPredicateWire>& predicates,
     const std::vector<QueryResultSpecWire>& results) {
-  return AwaitExecuteQuery(
-      SendExecuteQuery(session_id, table, predicates, results));
+  if (predicates.empty() || predicates.size() > kMaxQueryPredicates ||
+      results.empty() || results.size() > kMaxQueryResults) {
+    throw std::invalid_argument(
+        "ExecuteQuery: predicate/result count out of protocol bounds");
+  }
+  ExecuteQueryReq req;
+  req.table = table;
+  req.predicates = predicates;
+  req.results = results;
+  return Transact<ExecuteQueryResult>(std::move(req), session_id,
+                                      /*idempotent=*/true);
 }
 
 uint64_t HolixClient::SendExecuteQuery(
@@ -209,7 +295,7 @@ uint64_t HolixClient::SendExecuteQuery(
         "ExecuteQuery: predicate/result count out of protocol bounds");
   }
   ExecuteQueryReq req;
-  req.session_id = session_id;
+  req.session_id = ServerSession(session_id);
   req.table = table;
   req.predicates = predicates;
   req.results = results;
@@ -224,14 +310,26 @@ uint64_t HolixClient::CountRangeScalar(uint64_t session_id,
                                        const std::string& table,
                                        const std::string& column,
                                        KeyScalar low, KeyScalar high) {
-  return AwaitCount(SendCountRange(session_id, table, column, low, high));
+  CountRangeReq req;
+  req.table = table;
+  req.column = column;
+  req.low = low;
+  req.high = high;
+  return Transact<CountResult>(std::move(req), session_id, /*idempotent=*/true)
+      .count;
 }
 
 KeyScalar HolixClient::SumRangeScalar(uint64_t session_id,
                                       const std::string& table,
                                       const std::string& column,
                                       KeyScalar low, KeyScalar high) {
-  return AwaitSumScalar(SendSumRange(session_id, table, column, low, high));
+  SumRangeReq req;
+  req.table = table;
+  req.column = column;
+  req.low = low;
+  req.high = high;
+  return Transact<SumResult>(std::move(req), session_id, /*idempotent=*/true)
+      .sum;
 }
 
 KeyScalar HolixClient::ProjectSumScalar(uint64_t session_id,
@@ -240,27 +338,27 @@ KeyScalar HolixClient::ProjectSumScalar(uint64_t session_id,
                                         const std::string& project_column,
                                         KeyScalar low, KeyScalar high) {
   ProjectSumReq req;
-  req.session_id = session_id;
   req.table = table;
   req.where_column = where_column;
   req.project_column = project_column;
   req.low = low;
   req.high = high;
-  const uint64_t id = SendMessage(req);
-  return Expect<ProjectSumResult>(AwaitFrame(id)).sum;
+  return Transact<ProjectSumResult>(std::move(req), session_id,
+                                    /*idempotent=*/true)
+      .sum;
 }
 
 std::vector<uint64_t> HolixClient::SelectRowIdsScalar(
     uint64_t session_id, const std::string& table, const std::string& column,
     KeyScalar low, KeyScalar high) {
   SelectRowIdsReq req;
-  req.session_id = session_id;
   req.table = table;
   req.column = column;
   req.low = low;
   req.high = high;
-  const uint64_t id = SendMessage(req);
-  return Expect<RowIdsResult>(AwaitFrame(id)).rowids;
+  return Transact<RowIdsResult>(std::move(req), session_id,
+                                /*idempotent=*/true)
+      .rowids;
 }
 
 uint64_t HolixClient::InsertScalar(uint64_t session_id,
@@ -268,23 +366,23 @@ uint64_t HolixClient::InsertScalar(uint64_t session_id,
                                    const std::string& column,
                                    KeyScalar value) {
   InsertReq req;
-  req.session_id = session_id;
   req.table = table;
   req.column = column;
   req.value = value;
-  const uint64_t id = SendMessage(req);
-  return Expect<InsertResult>(AwaitFrame(id)).rowid;
+  return Transact<InsertResult>(std::move(req), session_id,
+                                /*idempotent=*/false)
+      .rowid;
 }
 
 bool HolixClient::DeleteScalar(uint64_t session_id, const std::string& table,
                                const std::string& column, KeyScalar value) {
   DeleteReq req;
-  req.session_id = session_id;
   req.table = table;
   req.column = column;
   req.value = value;
-  const uint64_t id = SendMessage(req);
-  return Expect<DeleteResult>(AwaitFrame(id)).found;
+  return Transact<DeleteResult>(std::move(req), session_id,
+                                /*idempotent=*/false)
+      .found;
 }
 
 uint64_t HolixClient::CountRange(uint64_t session_id, const std::string& table,
@@ -360,7 +458,7 @@ uint64_t HolixClient::SendCountRange(uint64_t session_id,
                                      const std::string& column, KeyScalar low,
                                      KeyScalar high) {
   CountRangeReq req;
-  req.session_id = session_id;
+  req.session_id = ServerSession(session_id);
   req.table = table;
   req.column = column;
   req.low = low;
@@ -377,7 +475,7 @@ uint64_t HolixClient::SendSumRange(uint64_t session_id,
                                    const std::string& column, KeyScalar low,
                                    KeyScalar high) {
   SumRangeReq req;
-  req.session_id = session_id;
+  req.session_id = ServerSession(session_id);
   req.table = table;
   req.column = column;
   req.low = low;

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -18,6 +20,38 @@
 #include "server/protocol.h"
 
 namespace holix::net {
+
+/// Thrown when the transport to the server fails (connection refused, peer
+/// reset, EOF mid-response) — as opposed to a server-reported Error frame,
+/// which surfaces as a plain std::runtime_error. With
+/// ClientOptions::reconnect the synchronous read API retries through this
+/// transparently; pipelined callers and update calls observe it directly.
+class ConnectionLost : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Connection behavior of a HolixClient, set at Connect().
+struct ClientOptions {
+  /// Re-dial the original host:port when the transport drops. Synchronous
+  /// *read* calls (counts, sums, rowids, ExecuteQuery, GetStats) are
+  /// retried after a successful reconnect — they are idempotent, so a
+  /// resend cannot double-apply. Insert/Delete are never resent once their
+  /// request bytes may have reached the server (the ack is ambiguous); a
+  /// drop mid-update surfaces as ConnectionLost for the caller to resolve.
+  /// Session ids handed out by OpenSession() stay valid across reconnects:
+  /// they are client-side handles, re-bound to fresh server sessions on
+  /// each re-dial.
+  bool reconnect = false;
+
+  /// Dial attempts (initial + retries) before a reconnect gives up.
+  int max_attempts = 6;
+
+  /// Exponential backoff between attempts: first wait, then doubling up to
+  /// the cap.
+  double backoff_initial_seconds = 0.05;
+  double backoff_max_seconds = 2.0;
+};
 
 /// A connection to a HolixServer. Movable, not copyable.
 class HolixClient {
@@ -32,7 +66,8 @@ class HolixClient {
 
   /// Connects and performs the version handshake. Throws std::runtime_error
   /// on refusal (including a server version mismatch).
-  void Connect(const std::string& host, uint16_t port);
+  void Connect(const std::string& host, uint16_t port,
+               ClientOptions options = {});
 
   /// Closes the socket (idempotent).
   void Close();
@@ -41,7 +76,10 @@ class HolixClient {
 
   // --- Sessions ----------------------------------------------------------
 
-  /// Opens a server-side session; returns its id.
+  /// Opens a server-side session; returns a client-side handle for it.
+  /// The handle survives reconnects (see ClientOptions::reconnect): the
+  /// client re-opens a fresh server session for each live handle after
+  /// re-dialing and keeps translating transparently.
   uint64_t OpenSession();
   void CloseSession(uint64_t session_id);
 
@@ -163,10 +201,33 @@ class HolixClient {
   template <typename M>
   M Expect(const Frame& f);
 
+  /// Dials host_:port_ and runs the version handshake (no session state).
+  void Dial();
+  /// Throws ConnectionLost when fd_ is down and reconnect is off;
+  /// otherwise re-dials once and re-opens every tracked session handle.
+  void EnsureConnected();
+  /// Translates a client session handle to the current server session id
+  /// (identity for ids the client did not hand out).
+  uint64_t ServerSession(uint64_t handle) const;
+  /// One synchronous round trip with the reconnect policy applied: read
+  /// calls (idempotent) are retried with exponential backoff across
+  /// reconnects; a request that may already have reached the server is
+  /// never resent unless idempotent.
+  template <typename Resp, typename Req>
+  Resp Transact(Req req, uint64_t session_handle, bool idempotent);
+
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::vector<uint8_t> acc_;
   std::unordered_map<uint64_t, Frame> stash_;
+
+  std::string host_;
+  uint16_t port_ = 0;
+  ClientOptions opts_;
+  uint64_t next_session_handle_ = 1;
+  /// Client session handle -> current server session id (re-bound on
+  /// every reconnect; ordered so re-opens happen in handle order).
+  std::map<uint64_t, uint64_t> sessions_;
 };
 
 }  // namespace holix::net

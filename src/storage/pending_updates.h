@@ -31,12 +31,16 @@ class PendingUpdates {
     appended_[rowid] = value;
   }
 
-  /// Parks a deletion of (value, rowid).
+  /// Parks a deletion of (value, rowid). A delete of a row that was itself
+  /// appended simply nets out of the appended registry; a delete of a BASE
+  /// row is remembered in the deleted-base registry — the base array never
+  /// shrinks, so durability needs the list of base rows no longer live to
+  /// reconstruct the column's effective multiset.
   void AddDelete(T value, RowId rowid) {
     std::lock_guard<std::mutex> lk(mu_);
     deletes_.push_back({value, rowid});
     del_bounds_.Widen(value);
-    appended_.erase(rowid);
+    if (appended_.erase(rowid) == 0) deleted_base_[rowid] = value;
   }
 
   /// Extracts (removes and returns) every pending insert whose value lies
@@ -121,6 +125,19 @@ class PendingUpdates {
     return appended_.size();
   }
 
+  /// Every live appended row as (rowid, value), ascending by rowid — the
+  /// deterministic export a checkpoint serializes.
+  std::vector<std::pair<RowId, T>> AppendedEntries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return SortedEntriesLocked(appended_);
+  }
+
+  /// Every deleted BASE row as (rowid, value), ascending by rowid.
+  std::vector<std::pair<RowId, T>> DeletedBaseEntries() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return SortedEntriesLocked(deleted_base_);
+  }
+
   /// Number of pending insertions.
   size_t PendingInserts() const {
     std::lock_guard<std::mutex> lk(mu_);
@@ -156,6 +173,14 @@ class PendingUpdates {
              !KeyTraits<T>::Less(max, low);
     }
   };
+
+  static std::vector<std::pair<RowId, T>> SortedEntriesLocked(
+      const std::unordered_map<RowId, T>& m) {
+    std::vector<std::pair<RowId, T>> out(m.begin(), m.end());
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return out;
+  }
 
   static std::vector<std::pair<T, RowId>> TakeRangeLocked(
       std::vector<std::pair<T, RowId>>& queue, T low, T high) {
@@ -195,6 +220,9 @@ class PendingUpdates {
   Bounds del_bounds_;
   /// rowid -> value for every live appended row; survives Take* drains.
   std::unordered_map<RowId, T> appended_;
+  /// rowid -> value for every deleted base row; survives Take* drains
+  /// (base arrays never shrink — see AddDelete).
+  std::unordered_map<RowId, T> deleted_base_;
 };
 
 }  // namespace holix
